@@ -1,0 +1,115 @@
+package crowdfill
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"crowdfill/internal/pay"
+	"crowdfill/internal/replay"
+	"crowdfill/internal/server"
+	"crowdfill/internal/sync"
+)
+
+// traceExport is the JSON shape of an exported bookkeeping trace — the same
+// shape the front-end's /trace endpoint serves and crowdfill-replay reads.
+type traceExport struct {
+	Trace []sync.Message `json:"trace"`
+	CCLog []sync.Message `json:"ccLog"`
+}
+
+// ExportTrace serializes the collection's bookkeeping trace (paper §3.3):
+// every worker message plus the Central Client's log, in server order. The
+// bytes round-trip through Audit and cmd/crowdfill-replay.
+func (c *Collection) ExportTrace() ([]byte, error) {
+	var out traceExport
+	c.ns.WithCore(func(core *server.Core) {
+		out.Trace = append(out.Trace, core.Trace()...)
+		out.CCLog = append(out.CCLog, core.CCLog()...)
+	})
+	return json.Marshal(out)
+}
+
+// ExportSimTrace serializes a simulation's bookkeeping trace in the same
+// format.
+func ExportSimTrace(res *SimResult) ([]byte, error) {
+	return json.Marshal(traceExport{
+		Trace: res.Core.Trace(),
+		CCLog: res.Core.CCLog(),
+	})
+}
+
+// AuditResult is the outcome of replaying a trace offline.
+type AuditResult struct {
+	// Messages counts replayed messages (worker + Central Client).
+	Messages int
+	// CandidateRows and FinalRows describe the rebuilt end state.
+	CandidateRows int
+	FinalRows     int
+	// Final holds the re-derived final table as rows of column values.
+	Final [][]string
+	// Pay is the recomputed per-worker compensation.
+	Pay map[string]float64
+	// Statements itemizes each worker's paid actions.
+	Statements map[string]string
+}
+
+// Audit replays an exported trace against a spec and recomputes the final
+// table and compensation — answering "why did worker X earn $Y" without the
+// live system. scheme optionally overrides the spec's allocation scheme
+// ("" keeps it).
+func Audit(s Spec, traceJSON []byte, scheme string) (*AuditResult, error) {
+	cfg, err := s.Build()
+	if err != nil {
+		return nil, err
+	}
+	var tf traceExport
+	if err := json.Unmarshal(traceJSON, &tf); err != nil {
+		return nil, fmt.Errorf("crowdfill: parse trace: %w", err)
+	}
+	sch := cfg.Scheme
+	if scheme != "" {
+		sch, err = pay.ParseScheme(scheme)
+		if err != nil {
+			return nil, err
+		}
+	}
+	audit, err := replay.Run(replay.Input{
+		Schema: cfg.Schema,
+		Score:  cfg.Score,
+		Budget: cfg.Budget,
+		Scheme: sch,
+		Trace:  tf.Trace,
+		CCLog:  tf.CCLog,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &AuditResult{
+		Messages:      audit.Messages,
+		CandidateRows: audit.Replica.Table().Len(),
+		FinalRows:     len(audit.Final),
+		Pay:           audit.Alloc.PerWorker,
+		Statements:    make(map[string]string),
+	}
+	for _, r := range audit.Final {
+		row := make([]string, len(r.Vec))
+		for i, cell := range r.Vec {
+			if cell.Set {
+				row[i] = cell.Val
+			}
+		}
+		out.Final = append(out.Final, row)
+	}
+	cols := make([]string, cfg.Schema.NumColumns())
+	for i, c := range cfg.Schema.Columns {
+		cols[i] = c.Name
+	}
+	start := int64(0)
+	if len(tf.CCLog) > 0 {
+		start = tf.CCLog[0].TS
+	}
+	for worker := range audit.Alloc.PerWorker {
+		out.Statements[worker] = audit.Alloc.FormatStatement(worker, tf.Trace, cols, start)
+	}
+	return out, nil
+}

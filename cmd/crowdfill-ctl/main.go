@@ -1,0 +1,102 @@
+// Command crowdfill-ctl is the REST control client for crowdfill-server:
+// it creates table specifications, starts collections, polls status,
+// retrieves results, and triggers worker payment.
+//
+// Usage:
+//
+//	crowdfill-ctl -server http://localhost:8080 create -spec spec.json
+//	crowdfill-ctl -server http://localhost:8080 list
+//	crowdfill-ctl -server http://localhost:8080 start  -id specs-000001
+//	crowdfill-ctl -server http://localhost:8080 status -id specs-000001
+//	crowdfill-ctl -server http://localhost:8080 result -id specs-000001
+//	crowdfill-ctl -server http://localhost:8080 trace  -id specs-000001
+//	crowdfill-ctl -server http://localhost:8080 pay    -id specs-000001
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+)
+
+func main() {
+	server := flag.String("server", "http://localhost:8080", "front-end server URL")
+	id := flag.String("id", "", "specification id")
+	specPath := flag.String("spec", "", "table specification JSON file")
+	flag.Parse()
+	cmd := flag.Arg(0)
+	if cmd == "" {
+		log.Fatal("crowdfill-ctl: need a command: create, list, get, start, status, result, trace, statements, pay, delete")
+	}
+
+	needID := func() string {
+		if *id == "" {
+			log.Fatalf("crowdfill-ctl: %s needs -id", cmd)
+		}
+		return *id
+	}
+	switch cmd {
+	case "create":
+		if *specPath == "" {
+			log.Fatal("crowdfill-ctl: create needs -spec")
+		}
+		body, err := os.ReadFile(*specPath)
+		if err != nil {
+			log.Fatalf("crowdfill-ctl: %v", err)
+		}
+		do("POST", *server+"/api/specs", body)
+	case "list":
+		do("GET", *server+"/api/specs", nil)
+	case "get":
+		do("GET", *server+"/api/specs/"+needID(), nil)
+	case "delete":
+		do("DELETE", *server+"/api/specs/"+needID(), nil)
+	case "start":
+		do("POST", *server+"/api/specs/"+needID()+"/start", nil)
+	case "status":
+		do("GET", *server+"/api/specs/"+needID()+"/status", nil)
+	case "result":
+		do("GET", *server+"/api/specs/"+needID()+"/result", nil)
+	case "trace":
+		do("GET", *server+"/api/specs/"+needID()+"/trace", nil)
+	case "statements":
+		do("GET", *server+"/api/specs/"+needID()+"/statements", nil)
+	case "pay":
+		do("POST", *server+"/api/specs/"+needID()+"/pay", nil)
+	default:
+		log.Fatalf("crowdfill-ctl: unknown command %q", cmd)
+	}
+}
+
+// do performs the request and pretty-prints the JSON response.
+func do(method, url string, body []byte) {
+	req, err := http.NewRequest(method, url, bytes.NewReader(body))
+	if err != nil {
+		log.Fatalf("crowdfill-ctl: %v", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatalf("crowdfill-ctl: %v", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatalf("crowdfill-ctl: %v", err)
+	}
+	var pretty bytes.Buffer
+	if json.Indent(&pretty, data, "", "  ") == nil {
+		data = pretty.Bytes()
+	}
+	fmt.Printf("%s %s -> %s\n%s\n", method, url, resp.Status, data)
+	if resp.StatusCode >= 400 {
+		os.Exit(1)
+	}
+}

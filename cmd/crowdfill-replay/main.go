@@ -1,0 +1,114 @@
+// Command crowdfill-replay audits a finished collection offline: it loads
+// the bookkeeping trace (as served by the front-end's /trace endpoint),
+// replays it through a fresh replica, re-derives the final table, and
+// recomputes compensation under any allocation scheme — answering "why did
+// worker X earn $Y" without the live system.
+//
+// Usage:
+//
+//	crowdfill-ctl -server http://host:8080 -id specs-000001 trace > trace.json
+//	crowdfill-replay -spec spec.json -trace trace.json -budget 10 -scheme dual
+//	crowdfill-replay -spec spec.json -trace trace.json -statement w1
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"crowdfill/internal/model"
+	"crowdfill/internal/pay"
+	"crowdfill/internal/replay"
+	"crowdfill/internal/spec"
+	"crowdfill/internal/sync"
+)
+
+// traceFile matches the front-end's /trace payload.
+type traceFile struct {
+	Trace []sync.Message `json:"trace"`
+	CCLog []sync.Message `json:"ccLog"`
+}
+
+func main() {
+	specPath := flag.String("spec", "", "table specification JSON (schema + scoring)")
+	tracePath := flag.String("trace", "", "trace JSON ({trace, ccLog}, as served by /trace)")
+	budget := flag.Float64("budget", 0, "budget override (default: the spec's)")
+	scheme := flag.String("scheme", "", "allocation scheme override (default: the spec's)")
+	statement := flag.String("statement", "", "print the itemized pay statement for one worker")
+	showTable := flag.Bool("table", false, "print the rebuilt candidate table")
+	flag.Parse()
+
+	if *specPath == "" || *tracePath == "" {
+		log.Fatal("crowdfill-replay: -spec and -trace are required")
+	}
+	var ts spec.TableSpec
+	if data, err := os.ReadFile(*specPath); err != nil {
+		log.Fatalf("crowdfill-replay: %v", err)
+	} else if err := json.Unmarshal(data, &ts); err != nil {
+		log.Fatalf("crowdfill-replay: parse spec: %v", err)
+	}
+	cfg, err := ts.Build()
+	if err != nil {
+		log.Fatalf("crowdfill-replay: %v", err)
+	}
+	var tf traceFile
+	if data, err := os.ReadFile(*tracePath); err != nil {
+		log.Fatalf("crowdfill-replay: %v", err)
+	} else if err := json.Unmarshal(data, &tf); err != nil {
+		log.Fatalf("crowdfill-replay: parse trace: %v", err)
+	}
+	b := cfg.Budget
+	if *budget > 0 {
+		b = *budget
+	}
+	sch := cfg.Scheme
+	if *scheme != "" {
+		sch, err = pay.ParseScheme(*scheme)
+		if err != nil {
+			log.Fatalf("crowdfill-replay: %v", err)
+		}
+	}
+
+	audit, err := replay.Run(replay.Input{
+		Schema: cfg.Schema,
+		Score:  cfg.Score,
+		Budget: b,
+		Scheme: sch,
+		Trace:  tf.Trace,
+		CCLog:  tf.CCLog,
+	})
+	if err != nil {
+		log.Fatalf("crowdfill-replay: %v", err)
+	}
+
+	fmt.Printf("replayed %d messages (%d worker, %d central-client)\n",
+		audit.Messages, len(tf.Trace), len(tf.CCLog))
+	fmt.Printf("candidate rows: %d   final rows: %d\n",
+		audit.Replica.Table().Len(), len(audit.Final))
+	if *showTable {
+		fmt.Println()
+		fmt.Print(model.RenderTable(cfg.Schema, audit.Replica.Table().Rows()))
+	}
+	fmt.Println()
+	fmt.Print(model.RenderFinal(cfg.Schema, audit.Final))
+	fmt.Println()
+	fmt.Printf("compensation (%s, $%.2f budget, $%.2f allocated):\n",
+		sch, b, audit.Alloc.Allocated)
+	for worker, amount := range audit.Alloc.PerWorker {
+		fmt.Printf("  %-12s $%.2f\n", worker, amount)
+	}
+	if *statement != "" {
+		cols := make([]string, cfg.Schema.NumColumns())
+		for i, c := range cfg.Schema.Columns {
+			cols[i] = c.Name
+		}
+		start := int64(0)
+		if len(tf.CCLog) > 0 {
+			start = tf.CCLog[0].TS
+		}
+		fmt.Println()
+		fmt.Print(audit.Alloc.FormatStatement(*statement, tf.Trace, cols, start))
+	}
+}

@@ -1,0 +1,47 @@
+// Command crowdfill-server runs the full CrowdFill server stack: the
+// front-end REST API (table specifications, collection control, results,
+// payment) backed by the embedded document store and the simulated
+// marketplace, plus the per-collection back-end WebSocket endpoints.
+//
+// Usage:
+//
+//	crowdfill-server -addr :8080 -db crowdfill.json
+//
+// Then drive it with cmd/crowdfill-ctl (or plain curl):
+//
+//	crowdfill-ctl -server http://localhost:8080 create -spec spec.json
+//	crowdfill-ctl -server http://localhost:8080 start -id specs-000001
+//	crowdfill-worker -url ws://localhost:8080/ws/specs-000001 -spec spec.json -worker w1
+package main
+
+import (
+	"flag"
+	"log"
+
+	"crowdfill/internal/docstore"
+	"crowdfill/internal/frontend"
+	"crowdfill/internal/marketplace"
+	"net/http"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "HTTP listen address")
+	db := flag.String("db", "", "document store path (empty = in-memory)")
+	pool := flag.Int("pool", 100, "simulated marketplace worker pool size")
+	maxWorkers := flag.Int("max-workers", 10, "max workers per collection HIT")
+	seed := flag.Int64("seed", 1, "marketplace arrival seed")
+	flag.Parse()
+
+	store, err := docstore.Open(*db)
+	if err != nil {
+		log.Fatalf("crowdfill-server: %v", err)
+	}
+	market := marketplace.New(*seed, *pool, true)
+	fe := frontend.New(store, market, *maxWorkers)
+
+	log.Printf("crowdfill-server: REST API and WebSocket endpoints on %s", *addr)
+	log.Printf("crowdfill-server: marketplace sandbox with %d pooled workers", *pool)
+	if err := http.ListenAndServe(*addr, fe.Handler()); err != nil {
+		log.Fatalf("crowdfill-server: %v", err)
+	}
+}

@@ -1,0 +1,195 @@
+package crowdfill
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestCommandBinariesEndToEnd builds the real binaries and drives a full
+// session: crowdfill-server up, crowdfill-ctl create/start, two
+// crowdfill-worker processes collecting over real WebSockets, then
+// status/result/pay through the REST API.
+func TestCommandBinariesEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs subprocesses")
+	}
+	bin := t.TempDir()
+	build := exec.Command("go", "build", "-o", bin,
+		"./cmd/crowdfill-server", "./cmd/crowdfill-ctl", "./cmd/crowdfill-worker",
+		"./cmd/crowdfill-replay")
+	build.Dir = "."
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+
+	// Pick a free port.
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := lis.Addr().String()
+	lis.Close()
+
+	server := exec.Command(filepath.Join(bin, "crowdfill-server"), "-addr", addr)
+	server.Stdout = os.Stderr
+	server.Stderr = os.Stderr
+	if err := server.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		_ = server.Process.Kill()
+		_, _ = server.Process.Wait()
+	}()
+	base := "http://" + addr
+	waitHTTP(t, base+"/api/specs")
+
+	// A small spec the workers can finish quickly.
+	specPath := filepath.Join(bin, "spec.json")
+	spec := `{
+	 "name": "Gadget",
+	 "columns": [
+	   {"name": "id"},
+	   {"name": "kind", "domain": ["a", "b"]},
+	   {"name": "price", "type": "int"}
+	 ],
+	 "key": ["id"],
+	 "scoring": {"kind": "majority", "k": 3},
+	 "cardinality": 4,
+	 "budget": 5,
+	 "scheme": "column-weighted",
+	 "maxVotesPerRow": 5
+	}`
+	if err := os.WriteFile(specPath, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ctl := func(args ...string) string {
+		cmd := exec.Command(filepath.Join(bin, "crowdfill-ctl"),
+			append([]string{"-server", base}, args...)...)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("ctl %v: %v\n%s", args, err, out)
+		}
+		return string(out)
+	}
+	out := ctl("-spec", specPath, "create")
+	id := extractJSONField(t, out, "id")
+	start := ctl("-id", id, "start")
+	ws := extractJSONField(t, start, "ws")
+
+	// Two worker processes with compatible ground truth and high speedup.
+	var workers []*exec.Cmd
+	for i := 1; i <= 2; i++ {
+		w := exec.Command(filepath.Join(bin, "crowdfill-worker"),
+			"-url", "ws://"+addr+ws,
+			"-spec", specPath,
+			"-worker", fmt.Sprintf("w%d", i),
+			"-knowledge", "0.9",
+			"-accuracy", "0.99",
+			"-vote-accuracy", "0.99",
+			"-vote-pref", "0.6",
+			"-speedup", "300",
+			"-truth-seed", "42",
+			"-seed", fmt.Sprint(100+i),
+		)
+		w.Stdout = os.Stderr
+		w.Stderr = os.Stderr
+		if err := w.Start(); err != nil {
+			t.Fatal(err)
+		}
+		workers = append(workers, w)
+	}
+	defer func() {
+		for _, w := range workers {
+			_ = w.Process.Kill()
+			_, _ = w.Process.Wait()
+		}
+	}()
+
+	// Poll status until done.
+	deadline := time.Now().Add(60 * time.Second)
+	done := false
+	for time.Now().Before(deadline) && !done {
+		st := ctl("-id", id, "status")
+		done = strings.Contains(st, `"done": true`)
+		time.Sleep(200 * time.Millisecond)
+	}
+	if !done {
+		t.Fatalf("collection did not finish")
+	}
+	result := ctl("-id", id, "result")
+	if !strings.Contains(result, "rows") {
+		t.Fatalf("result output:\n%s", result)
+	}
+	pay := ctl("-id", id, "pay")
+	if !strings.Contains(pay, `"status": "paid"`) {
+		t.Fatalf("pay output:\n%s", pay)
+	}
+	got := ctl("-id", id, "get")
+	if !strings.Contains(got, "Gadget") {
+		t.Fatalf("get output:\n%s", got)
+	}
+
+	// Offline audit: fetch the trace, replay it, and check the recomputed
+	// pay matches what the marketplace was told to pay.
+	traceOut := ctl("-id", id, "trace")
+	idx := strings.Index(traceOut, "{")
+	tracePath := filepath.Join(bin, "trace.json")
+	if err := os.WriteFile(tracePath, []byte(traceOut[idx:]), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	replayCmd := exec.Command(filepath.Join(bin, "crowdfill-replay"),
+		"-spec", specPath, "-trace", tracePath, "-statement", "w1")
+	replayOut, err := replayCmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("replay: %v\n%s", err, replayOut)
+	}
+	if !strings.Contains(string(replayOut), "final rows: 4") {
+		t.Fatalf("replay output:\n%s", replayOut)
+	}
+	if !strings.Contains(string(replayOut), "pay statement for w1") {
+		t.Fatalf("replay statement missing:\n%s", replayOut)
+	}
+}
+
+// waitHTTP polls a URL until it answers.
+func waitHTTP(t *testing.T, url string) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(url)
+		if err == nil {
+			resp.Body.Close()
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("server never came up at %s", url)
+}
+
+// extractJSONField pulls a string field out of crowdfill-ctl's pretty output
+// (status line + JSON body).
+func extractJSONField(t *testing.T, out, field string) string {
+	t.Helper()
+	idx := strings.Index(out, "{")
+	if idx < 0 {
+		t.Fatalf("no JSON in output:\n%s", out)
+	}
+	var m map[string]any
+	if err := json.Unmarshal([]byte(out[idx:]), &m); err != nil {
+		t.Fatalf("parse output: %v\n%s", err, out)
+	}
+	v, ok := m[field].(string)
+	if !ok {
+		t.Fatalf("field %q missing in %v", field, m)
+	}
+	return v
+}

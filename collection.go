@@ -1,0 +1,249 @@
+package crowdfill
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	gosync "sync"
+	"sync/atomic"
+
+	"crowdfill/internal/client"
+	"crowdfill/internal/model"
+	"crowdfill/internal/server"
+	"crowdfill/internal/sync"
+	"crowdfill/internal/transport"
+)
+
+// Collection is one live data-collection run: the back-end server (master
+// table, Central Client, trace, estimator) plus its network surface. Workers
+// join over WebSocket (Handler) or in-process (Connect).
+type Collection struct {
+	ns      *server.NetServer
+	schema  *model.Schema
+	nextID  int64
+	mu      gosync.Mutex
+	workers []*Worker
+}
+
+// NewCollection validates the spec and starts a collection (the candidate
+// table is seeded from the constraint template immediately).
+func NewCollection(s Spec) (*Collection, error) {
+	cfg, err := s.Build()
+	if err != nil {
+		return nil, err
+	}
+	core, err := server.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Collection{ns: server.NewNetServer(core, nil), schema: cfg.Schema}, nil
+}
+
+// Handler returns the WebSocket endpoint workers connect to
+// (ws://…/?worker=<id>).
+func (c *Collection) Handler() http.Handler { return c.ns.Handler() }
+
+// ListenAndServe serves the WebSocket endpoint on addr (blocking).
+func (c *Collection) ListenAndServe(addr string) error { return c.ns.ListenAndServe(addr) }
+
+// Done reports whether enough data has been collected (the final table
+// satisfies the constraint).
+func (c *Collection) Done() bool { return c.ns.Done() }
+
+// Columns returns the schema's column names.
+func (c *Collection) Columns() []string {
+	out := make([]string, c.schema.NumColumns())
+	for i, col := range c.schema.Columns {
+		out[i] = col.Name
+	}
+	return out
+}
+
+// Result returns the current final table as rows of column values.
+func (c *Collection) Result() [][]string {
+	var rows [][]string
+	c.ns.WithCore(func(core *server.Core) {
+		for _, r := range core.FinalTable() {
+			row := make([]string, len(r.Vec))
+			for i, cell := range r.Vec {
+				if cell.Set {
+					row[i] = cell.Val
+				}
+			}
+			rows = append(rows, row)
+		}
+	})
+	return rows
+}
+
+// Status summarizes collection progress.
+type Status struct {
+	Done          bool
+	FinalRows     int
+	CandidateRows int
+	Clients       int
+	Messages      int
+}
+
+// Status returns a snapshot of collection progress.
+func (c *Collection) Status() Status {
+	var st Status
+	c.ns.WithCore(func(core *server.Core) {
+		st = Status{
+			Done:          core.Done(),
+			FinalRows:     len(core.FinalTable()),
+			CandidateRows: core.Master().Table().Len(),
+			Clients:       core.Clients(),
+			Messages:      len(core.Trace()),
+		}
+	})
+	return st
+}
+
+// ComputePay runs the compensation calculation (§5.2) over the run so far
+// and returns per-worker amounts.
+func (c *Collection) ComputePay() (map[string]float64, error) {
+	var out map[string]float64
+	var err error
+	c.ns.WithCore(func(core *server.Core) {
+		alloc, aerr := core.ComputePay()
+		if aerr != nil {
+			err = aerr
+			return
+		}
+		out = alloc.PerWorker
+	})
+	return out, err
+}
+
+// Close shuts down every in-process worker connection.
+func (c *Collection) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, w := range c.workers {
+		w.runner.Close()
+	}
+	c.workers = nil
+}
+
+// Connect joins an in-process worker to the collection and returns its
+// action handle.
+func (c *Collection) Connect(workerID string) (*Worker, error) {
+	if workerID == "" {
+		return nil, errors.New("crowdfill: worker id required")
+	}
+	cl, err := client.New(client.Config{
+		ID:     fmt.Sprintf("%s#%d", workerID, atomic.AddInt64(&c.nextID, 1)),
+		Worker: workerID,
+		Schema: c.schema,
+	})
+	if err != nil {
+		return nil, err
+	}
+	serverSide, clientSide := transport.Pipe(1024)
+	go c.ns.ServeConn(serverSide, workerID)
+	w := &Worker{
+		id:     workerID,
+		schema: c.schema,
+		runner: client.NewRunner(cl, clientSide),
+	}
+	c.mu.Lock()
+	c.workers = append(c.workers, w)
+	c.mu.Unlock()
+	return w, nil
+}
+
+// Row is a worker-visible candidate-table row.
+type Row struct {
+	ID string
+	// Cells holds one value per column; empty cells are "".
+	Cells []string
+	// Up and Down are the row's vote counts.
+	Up, Down int
+	// Complete reports whether every cell is filled.
+	Complete bool
+}
+
+// Worker is an in-process worker connection: the worker-client runtime plus
+// its link to the collection.
+type Worker struct {
+	id     string
+	schema *model.Schema
+	runner *client.Runner
+}
+
+// ID returns the worker identity.
+func (w *Worker) ID() string { return w.id }
+
+// Done reports whether the server declared the collection finished.
+func (w *Worker) Done() bool { return w.runner.Done() }
+
+// Close disconnects the worker.
+func (w *Worker) Close() error { return w.runner.Close() }
+
+// Rows returns the worker's current view of the candidate table, sorted by
+// row id.
+func (w *Worker) Rows() []Row {
+	var out []Row
+	w.runner.View(func(c *client.Client) {
+		for _, r := range c.Rows(nil) {
+			row := Row{
+				ID:       string(r.ID),
+				Cells:    make([]string, len(r.Vec)),
+				Up:       r.Up,
+				Down:     r.Down,
+				Complete: r.Vec.IsComplete(),
+			}
+			for i, cell := range r.Vec {
+				if cell.Set {
+					row.Cells[i] = cell.Val
+				}
+			}
+			out = append(out, row)
+		}
+	})
+	return out
+}
+
+// Estimates returns the latest per-action compensation estimates the server
+// broadcast: one value per column (for fills) plus upvote/downvote values.
+// Nil before the first broadcast.
+func (w *Worker) Estimates() (perColumn []float64, upvote, downvote float64, ok bool) {
+	w.runner.View(func(c *client.Client) {
+		if est := c.Estimates(); est != nil {
+			perColumn = append([]float64(nil), est.PerColumn...)
+			upvote, downvote, ok = est.Upvote, est.Downvote, true
+		}
+	})
+	return perColumn, upvote, downvote, ok
+}
+
+// Fill fills the named column of a row with a value (validated against the
+// schema). Completing a row automatically upvotes it (§3.4).
+func (w *Worker) Fill(rowID, column, value string) error {
+	return w.runner.Do(func(c *client.Client) ([]sync.Message, error) {
+		return c.FillByName(model.RowID(rowID), column, value)
+	})
+}
+
+// Upvote endorses a complete row.
+func (w *Worker) Upvote(rowID string) error {
+	return w.runner.Do(func(c *client.Client) ([]sync.Message, error) {
+		m, err := c.Upvote(model.RowID(rowID))
+		if err != nil {
+			return nil, err
+		}
+		return []sync.Message{m}, nil
+	})
+}
+
+// Downvote refutes a partial or complete row.
+func (w *Worker) Downvote(rowID string) error {
+	return w.runner.Do(func(c *client.Client) ([]sync.Message, error) {
+		m, err := c.Downvote(model.RowID(rowID))
+		if err != nil {
+			return nil, err
+		}
+		return []sync.Message{m}, nil
+	})
+}

@@ -1,0 +1,72 @@
+package crowdfill_test
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"crowdfill"
+)
+
+// Example collects a two-row table with two in-process workers: one fills,
+// the other verifies, and the budget is split by contribution.
+func Example() {
+	coll, err := crowdfill.NewCollection(crowdfill.Spec{
+		Name:        "Capital",
+		Columns:     []crowdfill.Column{{Name: "country"}, {Name: "capital"}},
+		Key:         []string{"country"},
+		Scoring:     crowdfill.Scoring{Kind: "majority", K: 3},
+		Cardinality: 1,
+		Budget:      2,
+		Scheme:      "uniform",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer coll.Close()
+
+	alice, _ := coll.Connect("alice")
+	bob, _ := coll.Connect("bob")
+
+	fill := func(col, val string, ready func(crowdfill.Row) bool) {
+		for {
+			for _, r := range alice.Rows() {
+				if ready(r) {
+					if alice.Fill(r.ID, col, val) == nil {
+						return
+					}
+				}
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	fill("country", "France", func(r crowdfill.Row) bool { return r.Cells[0] == "" })
+	fill("capital", "Paris", func(r crowdfill.Row) bool { return r.Cells[0] == "France" && r.Cells[1] == "" })
+
+	for !coll.Done() {
+		for _, r := range bob.Rows() {
+			if r.Complete {
+				_ = bob.Upvote(r.ID)
+			}
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for _, row := range coll.Result() {
+		fmt.Println(row[0], "->", row[1])
+	}
+	// Output:
+	// France -> Paris
+}
+
+// ExampleSimulatePaper reproduces the paper's representative §6 run.
+func ExampleSimulatePaper() {
+	res, err := crowdfill.SimulatePaper(crowdfill.PaperSeed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("final rows:", res.FinalRows)
+	fmt.Printf("accuracy: %.0f%%\n", res.Accuracy*100)
+	// Output:
+	// final rows: 20
+	// accuracy: 100%
+}

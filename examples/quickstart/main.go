@@ -1,0 +1,97 @@
+// Quickstart: collect a tiny key/value table with two in-process workers.
+//
+// The collection is configured with a cardinality constraint (2 rows) and
+// the paper's majority-of-3 scoring: a row enters the final table once it is
+// complete and has net-positive votes from at least two votes. Alice fills
+// the table; Bob verifies her entries by upvoting them; the server detects
+// completion and both workers are paid from the $4 budget.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"crowdfill"
+)
+
+func main() {
+	coll, err := crowdfill.NewCollection(crowdfill.Spec{
+		Name:        "Capital",
+		Columns:     []crowdfill.Column{{Name: "country"}, {Name: "capital"}},
+		Key:         []string{"country"},
+		Scoring:     crowdfill.Scoring{Kind: "majority", K: 3},
+		Cardinality: 2,
+		Budget:      4,
+		Scheme:      "uniform",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer coll.Close()
+
+	alice, err := coll.Connect("alice")
+	if err != nil {
+		log.Fatal(err)
+	}
+	bob, err := coll.Connect("bob")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Alice fills both rows. The Central Client seeded two empty rows from
+	// the cardinality constraint; completing a row auto-upvotes it.
+	facts := map[string]string{"France": "Paris", "Japan": "Tokyo"}
+	for country, capital := range facts {
+		rowID := waitForRow(alice, func(r crowdfill.Row) bool { return r.Cells[0] == "" })
+		must(alice.Fill(rowID, "country", country))
+		rowID = waitForRow(alice, func(r crowdfill.Row) bool {
+			return r.Cells[0] == country && r.Cells[1] == ""
+		})
+		must(alice.Fill(rowID, "capital", capital))
+	}
+
+	// Bob endorses every complete row he hasn't voted on; the third vote
+	// (auto-upvote + Bob's) makes each row final.
+	for country := range facts {
+		rowID := waitForRow(bob, func(r crowdfill.Row) bool {
+			return r.Complete && r.Cells[0] == country
+		})
+		must(bob.Upvote(rowID))
+	}
+
+	for !coll.Done() {
+		time.Sleep(time.Millisecond)
+	}
+	fmt.Println("columns:", coll.Columns())
+	for _, row := range coll.Result() {
+		fmt.Println("row:", row)
+	}
+	pay, err := coll.ComputePay()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pay: alice=$%.2f bob=$%.2f\n", pay["alice"], pay["bob"])
+}
+
+// waitForRow polls the worker's table view until a row matches.
+func waitForRow(w *crowdfill.Worker, match func(crowdfill.Row) bool) string {
+	for deadline := time.Now().Add(10 * time.Second); time.Now().Before(deadline); {
+		for _, r := range w.Rows() {
+			if match(r) {
+				return r.ID
+			}
+		}
+		time.Sleep(time.Millisecond)
+	}
+	log.Fatal("row never appeared")
+	return ""
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,65 @@
+// Soccerplayers: the paper's running example end to end, with a simulated
+// crowd.
+//
+// The table is SoccerPlayer(name, nationality, position, caps, goals, dob)
+// with key (name, nationality) — §6's experimental schema. The constraint
+// combines the §2.3 examples: a values template (one forward from any
+// country, one player from Brazil, one from Spain) refined with the
+// predicates extension: the forward and the Brazilian need ≥20 goals, and
+// the Spaniard ≥85 caps (the paper's thresholds, scaled to the synthetic
+// ground truth whose caps top out at 99), padded to 12 rows by a
+// cardinality constraint. A five-worker simulated crowd
+// collects the data; the run reports the final table and who earned what.
+//
+// Run with: go run ./examples/soccerplayers
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"crowdfill"
+)
+
+func main() {
+	spec := crowdfill.Spec{
+		Name: "SoccerPlayer",
+		Columns: []crowdfill.Column{
+			{Name: "name"},
+			{Name: "nationality"},
+			{Name: "position", Domain: []string{"GK", "DF", "MF", "FW"}},
+			{Name: "caps", Type: "int"},
+			{Name: "goals", Type: "int"},
+			{Name: "dob", Type: "date"},
+		},
+		Key:     []string{"name", "nationality"},
+		Scoring: crowdfill.Scoring{Kind: "majority", K: 3},
+		// §2.3's predicates template: cells are "" (any), "=v"/bare value
+		// (values constraint), or comparisons (predicates constraint).
+		Template: [][]string{
+			{"", "", "=FW", "", ">=20", ""},
+			{"", "=Brazil", "", "", ">=20", ""},
+			{"", "=Spain", "", ">=85", "", ""},
+		},
+		Cardinality: 12,
+		Budget:      10,
+		Scheme:      "dual-weighted",
+	}
+
+	res, err := crowdfill.Simulate(crowdfill.SimOptions{
+		Spec:        spec,
+		TruthRows:   220,
+		SoccerTruth: true,
+		Seed:        11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("run:", crowdfill.ResultSummary(res))
+	fmt.Println()
+	fmt.Println(crowdfill.ReportOverallEffectiveness(res))
+	fmt.Println(crowdfill.ReportWorkerCompensation(res))
+
+	fmt.Println("final table:")
+	fmt.Println(crowdfill.RenderFinalTable(res))
+}

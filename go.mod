@@ -1,0 +1,3 @@
+module crowdfill
+
+go 1.22

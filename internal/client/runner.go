@@ -1,0 +1,81 @@
+package client
+
+import (
+	gosync "sync"
+
+	"crowdfill/internal/sync"
+	"crowdfill/internal/transport"
+)
+
+// Runner drives a Client over a network link: a background goroutine pumps
+// server messages into the client, and Do serializes worker actions with
+// that pump, sending the resulting messages upstream. This is the live-mode
+// counterpart of the simulation harness's direct calls.
+type Runner struct {
+	mu   gosync.Mutex
+	c    *Client
+	conn transport.Conn
+	errc chan error
+}
+
+// NewRunner wraps a client and its server link and starts the receive pump.
+func NewRunner(c *Client, conn transport.Conn) *Runner {
+	r := &Runner{c: c, conn: conn, errc: make(chan error, 1)}
+	go r.pump()
+	return r
+}
+
+func (r *Runner) pump() {
+	for {
+		m, err := r.conn.Recv()
+		if err != nil {
+			r.errc <- err
+			return
+		}
+		r.mu.Lock()
+		aerr := r.c.HandleServer(m)
+		r.mu.Unlock()
+		if aerr != nil {
+			r.errc <- aerr
+			return
+		}
+	}
+}
+
+// Do runs fn against the client under the runner's lock and sends every
+// returned message to the server. fn should perform one worker action and
+// return the messages it produced (or nil and an error).
+func (r *Runner) Do(fn func(*Client) ([]sync.Message, error)) error {
+	r.mu.Lock()
+	msgs, err := fn(r.c)
+	r.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	for _, m := range msgs {
+		if err := r.conn.Send(m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// View runs fn with read access to the client under the lock.
+func (r *Runner) View(fn func(*Client)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fn(r.c)
+}
+
+// Done reports whether the server declared completion.
+func (r *Runner) Done() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.c.Done()
+}
+
+// Err returns the pump's terminal error channel (closed connection etc.).
+func (r *Runner) Err() <-chan error { return r.errc }
+
+// Close shuts the link down.
+func (r *Runner) Close() error { return r.conn.Close() }

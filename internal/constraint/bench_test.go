@@ -1,0 +1,53 @@
+package constraint
+
+import (
+	"fmt"
+	"testing"
+
+	"crowdfill/internal/model"
+)
+
+func benchTable(n int) *model.Candidate {
+	s := model.MustSchema("T", []model.Column{{Name: "k"}, {Name: "v"}}, "k")
+	c := model.NewCandidate(s)
+	for i := 0; i < n; i++ {
+		vec := model.VectorOf(fmt.Sprintf("k%d", i), "x")
+		if i%5 == 0 {
+			vec[1] = model.Cell{}
+		}
+		c.Put(&model.Row{ID: model.RowID(fmt.Sprintf("r-%06d", i)), Vec: vec, Up: i % 3})
+	}
+	return c
+}
+
+func BenchmarkProbable(b *testing.B) {
+	for _, n := range []int{20, 200, 2000} {
+		b.Run(fmt.Sprintf("rows=%d", n), func(b *testing.B) {
+			c := benchTable(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Probable(c, model.MajorityShortcut(3))
+			}
+		})
+	}
+}
+
+func BenchmarkMaxMatching(b *testing.B) {
+	for _, n := range []int{10, 50, 200} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			// Dense bipartite graph: every template row matches every row.
+			adj := make([][]int, n)
+			for i := range adj {
+				for j := 0; j < n; j++ {
+					adj[i] = append(adj[i], j)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if m := MaxMatching(adj, n); m.Size != n {
+					b.Fatal("matching broken")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,68 @@
+package constraint
+
+// Matching is the result of a maximum bipartite matching between template
+// rows (left vertices) and probable rows (right vertices).
+type Matching struct {
+	// Left[t] is the right-vertex index matched to left vertex t, or -1.
+	Left []int
+	// Right[p] is the left-vertex index matched to right vertex p, or -1.
+	Right []int
+	// Size is the number of matched pairs.
+	Size int
+}
+
+// MaxMatching computes a maximum bipartite matching by repeated augmenting
+// path search (Berge's theorem: a matching is maximum iff it admits no
+// augmenting path). adj[t] lists the right-vertex indexes adjacent to left
+// vertex t; nRight is the number of right vertices.
+func MaxMatching(adj [][]int, nRight int) Matching {
+	m := Matching{
+		Left:  make([]int, len(adj)),
+		Right: make([]int, nRight),
+	}
+	for i := range m.Left {
+		m.Left[i] = -1
+	}
+	for i := range m.Right {
+		m.Right[i] = -1
+	}
+	for t := range adj {
+		if m.Augment(adj, t) {
+			m.Size++
+		}
+	}
+	return m
+}
+
+// Augment searches for an augmenting path from free left vertex t (the
+// paper's BFS from a free template row, §4.2 — implemented as the standard
+// alternating-path search) and flips it into the matching if found.
+// Returns whether the matching grew.
+func (m *Matching) Augment(adj [][]int, t int) bool {
+	seen := make([]bool, len(m.Right))
+	return m.tryKuhn(adj, t, seen)
+}
+
+func (m *Matching) tryKuhn(adj [][]int, t int, seen []bool) bool {
+	for _, p := range adj[t] {
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		if m.Right[p] == -1 || m.tryKuhn(adj, m.Right[p], seen) {
+			m.Right[p] = t
+			m.Left[t] = p
+			return true
+		}
+	}
+	return false
+}
+
+// Unmatch removes the pair containing left vertex t, if matched.
+func (m *Matching) Unmatch(t int) {
+	if p := m.Left[t]; p != -1 {
+		m.Left[t] = -1
+		m.Right[p] = -1
+		m.Size--
+	}
+}

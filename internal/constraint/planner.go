@@ -1,0 +1,253 @@
+package constraint
+
+import (
+	"crowdfill/internal/model"
+	"crowdfill/internal/sync"
+)
+
+// ActionKind enumerates the Central Client actions a PRI repair can demand.
+type ActionKind int
+
+const (
+	// ActionInsert inserts a new row seeded with a template row's OpEq
+	// values (insert + fills + optional auto-upvote when the seed is a
+	// complete row, per §4.2 initialization).
+	ActionInsert ActionKind = iota
+	// ActionRemoveTemplate drops a template row that can no longer be
+	// satisfied — the paper's last-resort reduction of T, possibly
+	// violating the user's original intention (§4.2).
+	ActionRemoveTemplate
+)
+
+// Action is one planned Central Client step.
+type Action struct {
+	Kind     ActionKind
+	Template int          // index into the original template rows
+	Seed     model.Vector // ActionInsert: values to fill after inserting
+	Upvote   bool         // ActionInsert: upvote after seeding (complete template rows)
+}
+
+// Planner maintains the Probable Rows Invariant (§4.1): each template row t
+// corresponds to a unique probable row r with r ⊇ t. It incrementally keeps
+// a maximum bipartite matching between template rows and probable rows; when
+// a change leaves a template row free and no augmenting path exists, it
+// plans a row insertion (when the inserted row would be probable), attempts
+// to shuffle the matching so a different, insertable template row becomes
+// free, or removes the template row.
+type Planner struct {
+	tmpl  Template
+	score model.ScoreFunc
+
+	removed  []bool
+	assigned []model.RowID // assigned[t] = probable row currently matched, "" if none
+
+	// Stats for benchmarks and reports.
+	Repairs  int
+	Inserts  int
+	Removals int
+	Augments int
+}
+
+// NewPlanner returns a planner for the given template and scoring function.
+func NewPlanner(t Template, score model.ScoreFunc) *Planner {
+	return &Planner{
+		tmpl:     t.Clone(),
+		score:    score,
+		removed:  make([]bool, len(t.Rows)),
+		assigned: make([]model.RowID, len(t.Rows)),
+	}
+}
+
+// Template returns the active template (removed rows excluded), used for
+// final-constraint checking and compensation estimation.
+func (p *Planner) Template() Template {
+	out := Template{Schema: p.tmpl.Schema}
+	for i, tr := range p.tmpl.Rows {
+		if !p.removed[i] {
+			out.Rows = append(out.Rows, append(TemplateRow(nil), tr...))
+		}
+	}
+	return out
+}
+
+// RemovedCount returns how many template rows have been dropped.
+func (p *Planner) RemovedCount() int {
+	n := 0
+	for _, r := range p.removed {
+		if r {
+			n++
+		}
+	}
+	return n
+}
+
+// InitActions returns the startup actions: populate the candidate table with
+// the template rows, upvoting complete ones (§4.2 initialization).
+func (p *Planner) InitActions() []Action {
+	var out []Action
+	for i, tr := range p.tmpl.Rows {
+		seed := tr.EqVector()
+		out = append(out, Action{
+			Kind:     ActionInsert,
+			Template: i,
+			Seed:     seed,
+			Upvote:   seed.IsComplete(),
+		})
+	}
+	return out
+}
+
+// Assignment returns the current template→row correspondence (for tests and
+// introspection). Unmatched or removed templates map to "".
+func (p *Planner) Assignment() []model.RowID {
+	return append([]model.RowID(nil), p.assigned...)
+}
+
+// Repair revalidates the matching against the replica's current state and
+// returns the actions needed to restore the PRI. Planned insertions are
+// treated as satisfying their template row (the caller must execute them);
+// the next Repair then matches the actually-inserted rows.
+func (p *Planner) Repair(rep *sync.Replica) []Action {
+	p.Repairs++
+	prob := Probable(rep.Table(), p.score)
+
+	// Index probable rows and build adjacency for active template rows.
+	rowIdx := make(map[model.RowID]int, len(prob))
+	for i, r := range prob {
+		rowIdx[r.ID] = i
+	}
+	active := make([]int, 0, len(p.tmpl.Rows)) // template indexes still in T
+	for t := range p.tmpl.Rows {
+		if !p.removed[t] {
+			active = append(active, t)
+		}
+	}
+	adj := make([][]int, len(active))
+	for ai, t := range active {
+		tr := p.tmpl.Rows[t]
+		for pi, r := range prob {
+			if p.tmpl.MatchCandidate(tr, r.Vec) {
+				adj[ai] = append(adj[ai], pi)
+			}
+		}
+	}
+
+	// Seed the matching with still-valid previous assignments (incremental
+	// maintenance: only freed template rows need augmenting searches).
+	m := Matching{Left: make([]int, len(active)), Right: make([]int, len(prob))}
+	for i := range m.Left {
+		m.Left[i] = -1
+	}
+	for i := range m.Right {
+		m.Right[i] = -1
+	}
+	for ai, t := range active {
+		id := p.assigned[t]
+		if id == "" {
+			continue
+		}
+		pi, ok := rowIdx[id]
+		if !ok || m.Right[pi] != -1 || !p.tmpl.MatchCandidate(p.tmpl.Rows[t], prob[pi].Vec) {
+			continue
+		}
+		m.Left[ai] = pi
+		m.Right[pi] = ai
+		m.Size++
+	}
+
+	// Augment every free template row.
+	var free []int // indexes into active
+	for ai := range active {
+		if m.Left[ai] == -1 {
+			p.Augments++
+			if m.Augment(adj, ai) {
+				m.Size++
+			} else {
+				free = append(free, ai)
+			}
+		}
+	}
+
+	// Handle templates that no existing probable row can satisfy.
+	var actions []Action
+	for _, ai := range free {
+		t := active[ai]
+		if p.insertable(rep, t) {
+			actions = append(actions, p.insertAction(t))
+			continue
+		}
+		// Shuffle: find a matched, insertable template row t' that can give
+		// up its row to an alternating path from t, so t becomes matched
+		// and t' (insertable) becomes free instead.
+		shuffled := false
+		for bi, t2 := range active {
+			if bi == ai || m.Left[bi] == -1 || !p.insertable(rep, t2) {
+				continue
+			}
+			saved := m.Left[bi]
+			m.Unmatch(bi)
+			p.Augments++
+			if m.Augment(adj, ai) {
+				m.Size++
+				actions = append(actions, p.insertAction(t2))
+				shuffled = true
+				break
+			}
+			// Restore t2's pairing.
+			m.Left[bi] = saved
+			m.Right[saved] = bi
+			m.Size++
+		}
+		if shuffled {
+			continue
+		}
+		// No option left: drop the template row (§4.2).
+		p.removed[t] = true
+		p.Removals++
+		actions = append(actions, Action{Kind: ActionRemoveTemplate, Template: t})
+	}
+
+	// Persist the assignment for the next incremental repair.
+	for i := range p.assigned {
+		p.assigned[i] = ""
+	}
+	for ai, t := range active {
+		if pi := m.Left[ai]; pi != -1 {
+			p.assigned[t] = prob[pi].ID
+		}
+	}
+	return actions
+}
+
+func (p *Planner) insertAction(t int) Action {
+	p.Inserts++
+	seed := p.tmpl.Rows[t].EqVector()
+	return Action{Kind: ActionInsert, Template: t, Seed: seed, Upvote: seed.IsComplete()}
+}
+
+// insertable reports whether inserting template row t's seed value now would
+// produce a probable row, accounting for the vote counts the new row would
+// inherit from the histories.
+func (p *Planner) insertable(rep *sync.Replica, t int) bool {
+	seed := p.tmpl.Rows[t].EqVector()
+	up := rep.UH().Get(seed)
+	down := rep.DH().SubsetSum(seed)
+	return WouldBeProbable(rep.Table(), p.score, seed, up, down)
+}
+
+// CheckPRI verifies the Probable Rows Invariant against the replica: every
+// active template row must have a distinct probable row subsuming it. Used
+// by tests and the simulation harness.
+func (p *Planner) CheckPRI(rep *sync.Replica) bool {
+	prob := Probable(rep.Table(), p.score)
+	act := p.Template()
+	adj := make([][]int, len(act.Rows))
+	for ti, tr := range act.Rows {
+		for pi, r := range prob {
+			if act.MatchCandidate(tr, r.Vec) {
+				adj[ti] = append(adj[ti], pi)
+			}
+		}
+	}
+	return MaxMatching(adj, len(prob)).Size == len(act.Rows)
+}

@@ -1,0 +1,118 @@
+package constraint
+
+import (
+	"sort"
+
+	"crowdfill/internal/model"
+)
+
+// Probable computes the set of probable rows of a candidate table (paper
+// §4.1): rows that, given the current state, may still contribute to the
+// final table. A row r is probable iff one of:
+//
+//  1. some primary-key cell is empty and f(u_r,d_r) = 0;
+//  2. all key cells are filled, f(u_r,d_r) = 0, and no other row with the
+//     same key has a positive score;
+//  3. r is complete with a positive score, no same-key row scores higher,
+//     and r wins the deterministic tie-break (lowest row id) among equals.
+//
+// The result is sorted by row id.
+func Probable(c *model.Candidate, f model.ScoreFunc) []*model.Row {
+	s := c.Schema()
+
+	// Pass 1: per-key best positive score among complete rows, and whether
+	// any row with the key has a positive score at all.
+	type keyInfo struct {
+		maxScore int        // highest positive score among complete rows
+		best     *model.Row // deterministic winner at maxScore
+		positive bool       // some row with this key scores > 0
+	}
+	keys := make(map[string]*keyInfo)
+	c.Each(func(r *model.Row) {
+		if !r.Vec.KeyComplete(s) {
+			return
+		}
+		k := r.Vec.KeyOf(s)
+		info := keys[k]
+		if info == nil {
+			info = &keyInfo{}
+			keys[k] = info
+		}
+		score := f(r.Up, r.Down)
+		if score > 0 {
+			info.positive = true
+			if r.Vec.IsComplete() {
+				if info.best == nil || score > info.maxScore ||
+					(score == info.maxScore && r.ID < info.best.ID) {
+					info.maxScore = score
+					info.best = r
+				}
+			}
+		}
+	})
+
+	var out []*model.Row
+	c.Each(func(r *model.Row) {
+		score := f(r.Up, r.Down)
+		if !r.Vec.KeyComplete(s) {
+			if score == 0 {
+				out = append(out, r)
+			}
+			return
+		}
+		info := keys[r.Vec.KeyOf(s)]
+		if score == 0 {
+			if !info.positive {
+				out = append(out, r)
+			}
+			return
+		}
+		if score > 0 && r.Vec.IsComplete() && info.best == r {
+			out = append(out, r)
+		}
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// WouldBeProbable reports whether a hypothetical new row with value v would
+// be probable if inserted into c right now, given the vote histories it
+// would inherit (up = uh if complete, down = subset sum of DH). The Central
+// Client uses this before inserting a template row's value (paper §4.2:
+// "inserting row q with value t does not always make q probable").
+func WouldBeProbable(c *model.Candidate, f model.ScoreFunc, v model.Vector, inheritedUp, inheritedDown int) bool {
+	s := c.Schema()
+	up := 0
+	if v.IsComplete() {
+		up = inheritedUp
+	}
+	score := f(up, inheritedDown)
+	if !v.KeyComplete(s) {
+		return score == 0
+	}
+	// Key complete: look at competing rows with the same key.
+	k := v.KeyOf(s)
+	positive := false
+	maxOther := 0
+	c.Each(func(r *model.Row) {
+		if !r.Vec.KeyComplete(s) || r.Vec.KeyOf(s) != k {
+			return
+		}
+		sc := f(r.Up, r.Down)
+		if sc > 0 {
+			positive = true
+			if sc > maxOther {
+				maxOther = sc
+			}
+		}
+	})
+	if score == 0 {
+		return !positive
+	}
+	if score > 0 && v.IsComplete() {
+		// New row must not be dominated; ties lose to the incumbent (the
+		// incumbent has the older id), so require strictly greater.
+		return score > maxOther
+	}
+	return false
+}

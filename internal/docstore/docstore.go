@@ -1,0 +1,323 @@
+// Package docstore is an embedded JSON document store — the stand-in for the
+// MongoDB/MongoLab database the paper's front-end server used (§3.2). It
+// provides named collections of JSON documents with generated ids, equality
+// and comparison filters, and atomic whole-store persistence to a single
+// file. Exactly what storing table specifications and collected results
+// needs; nothing more.
+package docstore
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	gosync "sync"
+)
+
+// ErrNotFound is returned when a document id does not exist.
+var ErrNotFound = errors.New("docstore: document not found")
+
+// Doc is one stored document: its id plus the raw JSON body.
+type Doc struct {
+	ID   string
+	Body json.RawMessage
+}
+
+// Decode unmarshals the document body into out.
+func (d Doc) Decode(out any) error { return json.Unmarshal(d.Body, out) }
+
+// Store is a collection namespace, optionally persisted to one JSON file.
+type Store struct {
+	mu    gosync.RWMutex
+	path  string
+	colls map[string]*collData
+}
+
+type collData struct {
+	Seq  int64                      `json:"seq"`
+	Docs map[string]json.RawMessage `json:"docs"`
+}
+
+// Open loads (or initializes) a store. An empty path keeps the store purely
+// in memory.
+func Open(path string) (*Store, error) {
+	s := &Store{path: path, colls: make(map[string]*collData)}
+	if path == "" {
+		return s, nil
+	}
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return s, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("docstore: open: %w", err)
+	}
+	if err := json.Unmarshal(data, &s.colls); err != nil {
+		return nil, fmt.Errorf("docstore: corrupt store file %s: %w", path, err)
+	}
+	for _, c := range s.colls {
+		if c.Docs == nil {
+			c.Docs = make(map[string]json.RawMessage)
+		}
+	}
+	return s, nil
+}
+
+// Collection returns a handle on the named collection, creating it if new.
+func (s *Store) Collection(name string) *Collection {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.colls[name]; !ok {
+		s.colls[name] = &collData{Docs: make(map[string]json.RawMessage)}
+	}
+	return &Collection{store: s, name: name}
+}
+
+// Collections lists existing collection names, sorted.
+func (s *Store) Collections() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.colls))
+	for name := range s.colls {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// flushLocked writes the store to disk atomically (tmp file + rename).
+// Callers hold the write lock.
+func (s *Store) flushLocked() error {
+	if s.path == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(s.colls, "", " ")
+	if err != nil {
+		return fmt.Errorf("docstore: marshal: %w", err)
+	}
+	tmp := s.path + ".tmp"
+	if err := os.MkdirAll(filepath.Dir(s.path), 0o755); err != nil {
+		return fmt.Errorf("docstore: mkdir: %w", err)
+	}
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("docstore: write: %w", err)
+	}
+	if err := os.Rename(tmp, s.path); err != nil {
+		return fmt.Errorf("docstore: rename: %w", err)
+	}
+	return nil
+}
+
+// Flush persists the store (no-op for memory-only stores).
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.flushLocked()
+}
+
+// Collection is a handle on one named collection.
+type Collection struct {
+	store *Store
+	name  string
+}
+
+func (c *Collection) data() *collData { return c.store.colls[c.name] }
+
+// Insert stores a new document and returns its generated id.
+func (c *Collection) Insert(doc any) (string, error) {
+	body, err := json.Marshal(doc)
+	if err != nil {
+		return "", fmt.Errorf("docstore: marshal doc: %w", err)
+	}
+	c.store.mu.Lock()
+	defer c.store.mu.Unlock()
+	d := c.data()
+	d.Seq++
+	id := fmt.Sprintf("%s-%06d", c.name, d.Seq)
+	d.Docs[id] = body
+	return id, c.store.flushLocked()
+}
+
+// Put stores or replaces the document with the given id.
+func (c *Collection) Put(id string, doc any) error {
+	body, err := json.Marshal(doc)
+	if err != nil {
+		return fmt.Errorf("docstore: marshal doc: %w", err)
+	}
+	c.store.mu.Lock()
+	defer c.store.mu.Unlock()
+	c.data().Docs[id] = body
+	return c.store.flushLocked()
+}
+
+// Get decodes the document with the given id into out.
+func (c *Collection) Get(id string, out any) error {
+	c.store.mu.RLock()
+	body, ok := c.data().Docs[id]
+	c.store.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("%w: %s/%s", ErrNotFound, c.name, id)
+	}
+	return json.Unmarshal(body, out)
+}
+
+// Delete removes the document with the given id.
+func (c *Collection) Delete(id string) error {
+	c.store.mu.Lock()
+	defer c.store.mu.Unlock()
+	d := c.data()
+	if _, ok := d.Docs[id]; !ok {
+		return fmt.Errorf("%w: %s/%s", ErrNotFound, c.name, id)
+	}
+	delete(d.Docs, id)
+	return c.store.flushLocked()
+}
+
+// Len returns the number of documents.
+func (c *Collection) Len() int {
+	c.store.mu.RLock()
+	defer c.store.mu.RUnlock()
+	return len(c.data().Docs)
+}
+
+// All returns every document, sorted by id.
+func (c *Collection) All() []Doc {
+	c.store.mu.RLock()
+	defer c.store.mu.RUnlock()
+	out := make([]Doc, 0, len(c.data().Docs))
+	for id, body := range c.data().Docs {
+		out = append(out, Doc{ID: id, Body: append(json.RawMessage(nil), body...)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Find returns the documents whose top-level fields match the filter, sorted
+// by id. Filter values compare for equality; a nested map of the form
+// {"$gt": v} / {"$gte": v} / {"$lt": v} / {"$lte": v} / {"$ne": v} compares
+// (numbers numerically, everything else as strings).
+func (c *Collection) Find(filter map[string]any) ([]Doc, error) {
+	all := c.All()
+	if len(filter) == 0 {
+		return all, nil
+	}
+	var out []Doc
+	for _, doc := range all {
+		var fields map[string]any
+		if err := json.Unmarshal(doc.Body, &fields); err != nil {
+			continue // non-object documents never match field filters
+		}
+		ok, err := matches(fields, filter)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, doc)
+		}
+	}
+	return out, nil
+}
+
+func matches(fields, filter map[string]any) (bool, error) {
+	for key, want := range filter {
+		got, ok := fields[key]
+		if !ok {
+			return false, nil
+		}
+		if op, isOp := want.(map[string]any); isOp {
+			ok, err := matchOps(got, op)
+			if err != nil || !ok {
+				return false, err
+			}
+			continue
+		}
+		if !looseEqual(got, want) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+func matchOps(got any, ops map[string]any) (bool, error) {
+	for op, operand := range ops {
+		cmp, comparable := compareValues(got, operand)
+		switch op {
+		case "$ne":
+			if looseEqual(got, operand) {
+				return false, nil
+			}
+		case "$gt":
+			if !comparable || cmp <= 0 {
+				return false, nil
+			}
+		case "$gte":
+			if !comparable || cmp < 0 {
+				return false, nil
+			}
+		case "$lt":
+			if !comparable || cmp >= 0 {
+				return false, nil
+			}
+		case "$lte":
+			if !comparable || cmp > 0 {
+				return false, nil
+			}
+		default:
+			return false, fmt.Errorf("docstore: unknown filter operator %q", op)
+		}
+	}
+	return true, nil
+}
+
+// looseEqual compares JSON-decoded values, treating all numbers as float64.
+func looseEqual(a, b any) bool {
+	if fa, ok := toFloat(a); ok {
+		if fb, ok2 := toFloat(b); ok2 {
+			return fa == fb
+		}
+		return false
+	}
+	return fmt.Sprint(a) == fmt.Sprint(b)
+}
+
+// compareValues orders two values: numerically when both are numbers,
+// lexicographically when both are strings.
+func compareValues(a, b any) (int, bool) {
+	if fa, ok := toFloat(a); ok {
+		fb, ok2 := toFloat(b)
+		if !ok2 {
+			return 0, false
+		}
+		switch {
+		case fa < fb:
+			return -1, true
+		case fa > fb:
+			return 1, true
+		}
+		return 0, true
+	}
+	sa, aok := a.(string)
+	sb, bok := b.(string)
+	if aok && bok {
+		return strings.Compare(sa, sb), true
+	}
+	return 0, false
+}
+
+func toFloat(v any) (float64, bool) {
+	switch n := v.(type) {
+	case float64:
+		return n, true
+	case int:
+		return float64(n), true
+	case int64:
+		return float64(n), true
+	case json.Number:
+		f, err := n.Float64()
+		return f, err == nil
+	}
+	return 0, false
+}

@@ -1,0 +1,27 @@
+package docstore_test
+
+import (
+	"fmt"
+
+	"crowdfill/internal/docstore"
+)
+
+// Example stores table-specification documents the way the front-end server
+// does, then filters them.
+func Example() {
+	store, _ := docstore.Open("") // in-memory; pass a path to persist
+	specs := store.Collection("specs")
+
+	id, _ := specs.Insert(map[string]any{"name": "SoccerPlayer", "budget": 10.0})
+	specs.Insert(map[string]any{"name": "Gadget", "budget": 5.0})
+
+	var got map[string]any
+	specs.Get(id, &got)
+	fmt.Println(got["name"])
+
+	rich, _ := specs.Find(map[string]any{"budget": map[string]any{"$gte": 8.0}})
+	fmt.Println(len(rich), "spec(s) with budget >= 8")
+	// Output:
+	// SoccerPlayer
+	// 1 spec(s) with budget >= 8
+}

@@ -1,0 +1,356 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestE1PaperShape(t *testing.T) {
+	r := E1(representative(t))
+	if !r.Done {
+		t.Fatalf("E1 run must converge")
+	}
+	// Paper: 10m44s, 20 final rows, 23 candidate rows, all accurate.
+	if r.FinalRows != 20 {
+		t.Errorf("final rows = %d", r.FinalRows)
+	}
+	if r.CandidateRows < r.FinalRows {
+		t.Errorf("candidate rows %d < final rows %d", r.CandidateRows, r.FinalRows)
+	}
+	if r.CandidateRows != r.FinalRows+r.DownvotedRows+r.ExtraRows {
+		t.Errorf("row accounting wrong: %d != %d+%d+%d",
+			r.CandidateRows, r.FinalRows, r.DownvotedRows, r.ExtraRows)
+	}
+	if r.Accuracy < 0.9 {
+		t.Errorf("accuracy = %.2f", r.Accuracy)
+	}
+	if r.Duration <= 0 {
+		t.Errorf("duration = %v", r.Duration)
+	}
+}
+
+func TestE2PaperShape(t *testing.T) {
+	r := E2(representative(t))
+	if len(r.Workers) != 5 {
+		t.Fatalf("workers = %d", len(r.Workers))
+	}
+	// Sorted ascending by pay, and pay correlates with action volume at the
+	// extremes (the paper's $0.51/9-action vs $3.49/54-action contrast).
+	for i := 1; i < len(r.Workers); i++ {
+		if r.Workers[i].Actual < r.Workers[i-1].Actual {
+			t.Fatalf("not sorted by pay")
+		}
+	}
+	lo, hi := r.Workers[0], r.Workers[len(r.Workers)-1]
+	if hi.Actual < 2*lo.Actual {
+		t.Errorf("pay spread too narrow: %.2f vs %.2f", lo.Actual, hi.Actual)
+	}
+	if hi.Actions <= lo.Actions {
+		t.Errorf("actions should track pay at the extremes: %d vs %d", lo.Actions, hi.Actions)
+	}
+}
+
+func TestE3PaperShape(t *testing.T) {
+	r := E3(representative(t))
+	if r.MAPERaw <= 0 || r.MAPERaw > 100 {
+		t.Fatalf("raw MAPE = %.1f", r.MAPERaw)
+	}
+	// The paper's central claim for Figure 5: correcting for
+	// non-contributing actions improves the estimates.
+	if r.MAPECorrected >= r.MAPERaw {
+		t.Fatalf("corrected MAPE %.1f should beat raw %.1f", r.MAPECorrected, r.MAPERaw)
+	}
+	for _, w := range r.Workers {
+		// Estimates assume every action contributes, so raw estimates
+		// should not be dramatically below actual pay.
+		if w.RawEstimate < w.Actual*0.5 {
+			t.Errorf("%s: raw estimate %.2f far below actual %.2f", w.Name, w.RawEstimate, w.Actual)
+		}
+	}
+}
+
+func TestE4PaperShape(t *testing.T) {
+	res := representative(t)
+	r, err := E4(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Workers) != 5 {
+		t.Fatalf("workers = %d", len(r.Workers))
+	}
+	// Budgets match across schemes up to the unassigned indirect remainder.
+	var dualSum, uniSum float64
+	for i := range r.Workers {
+		dualSum += r.Dual[i]
+		uniSum += r.Uniform[i]
+	}
+	if dualSum > 10+1e-9 || uniSum > 10+1e-9 {
+		t.Fatalf("allocations exceed budget: %.2f / %.2f", dualSum, uniSum)
+	}
+	// The paper saw >25% shift for one worker; we demand a visible shift.
+	if r.MaxRelDiff < 0.05 {
+		t.Errorf("scheme change should visibly shift someone's pay, max diff %.1f%%", r.MaxRelDiff*100)
+	}
+}
+
+func TestE5PaperShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run experiment")
+	}
+	r, err := E5([]int64{21, 22, 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Runs == 0 {
+		t.Fatalf("no runs converged")
+	}
+	for i, m := range r.MAPE {
+		if m <= 0 || m > 100 {
+			t.Fatalf("MAPE[%d] = %.1f", i, m)
+		}
+	}
+	// Paper ordering: the simpler the scheme, the better the estimates.
+	// Uniform must not be the worst (weighted schemes add weight-estimation
+	// error on top of the shared denominators).
+	uniform, column, dual := r.MAPE[0], r.MAPE[1], r.MAPE[2]
+	if uniform > column+5 && uniform > dual+5 {
+		t.Errorf("uniform (%.1f) should not be clearly worst (column %.1f, dual %.1f)",
+			uniform, column, dual)
+	}
+}
+
+func TestE6PaperShape(t *testing.T) {
+	res := representative(t)
+	r, err := E6(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Workers[0] == r.Workers[1] || r.Workers[0] == "" {
+		t.Fatalf("two distinct workers required: %v", r.Workers)
+	}
+	for i := 0; i < 2; i++ {
+		for _, curve := range [][]CurvePoint{r.Weighted[i], r.Uniform[i]} {
+			if len(curve) < 2 {
+				t.Fatalf("curve too short: %v", curve)
+			}
+			if got := curve[len(curve)-1].Frac; got < 0.999 {
+				t.Fatalf("curve must reach 1.0, got %v", got)
+			}
+		}
+		if r.StabilityWeighted[i] < 0 || r.StabilityUniform[i] < 0 {
+			t.Fatalf("negative deviation")
+		}
+	}
+	if r.Duration != res.Duration {
+		t.Fatalf("duration mismatch")
+	}
+}
+
+func TestSampleCurve(t *testing.T) {
+	curve := []CurvePoint{{0, 0}, {10 * time.Second, 0.5}, {20 * time.Second, 1}}
+	cases := []struct {
+		t    time.Duration
+		want float64
+	}{
+		{0, 0}, {5 * time.Second, 0}, {10 * time.Second, 0.5},
+		{15 * time.Second, 0.5}, {25 * time.Second, 1},
+	}
+	for _, tc := range cases {
+		if got := sampleCurve(curve, tc.t); got != tc.want {
+			t.Errorf("sampleCurve(%v) = %v, want %v", tc.t, got, tc.want)
+		}
+	}
+}
+
+func TestCurveDeviation(t *testing.T) {
+	// A perfectly diagonal curve has zero deviation.
+	diag := []CurvePoint{{0, 0}, {50 * time.Second, 0.5}, {100 * time.Second, 1}}
+	if got := curveDeviation(diag, 100*time.Second); got != 0 {
+		t.Errorf("diagonal deviation = %v", got)
+	}
+	// Earning everything at the start deviates maximally mid-run.
+	front := []CurvePoint{{0, 1}}
+	if got := curveDeviation(front, 100*time.Second); got != 1 {
+		t.Errorf("front-loaded deviation = %v", got)
+	}
+	if got := curveDeviation(nil, time.Second); got != 0 {
+		t.Errorf("empty curve deviation = %v", got)
+	}
+}
+
+func TestE7SpammerImpact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run experiment")
+	}
+	r, err := E7(DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Spammers) != 3 {
+		t.Fatalf("variants = %d", len(r.Spammers))
+	}
+	// Contribution-based pay must punish spam whenever spammers acted.
+	for i, n := range r.Spammers {
+		if n == 0 {
+			if r.SpamPayShare[i] != 0 {
+				t.Fatalf("no spammers but spam pay = %v", r.SpamPayShare[i])
+			}
+			continue
+		}
+		if r.SpamActionShare[i] > 0 && r.SpamPayShare[i] >= r.SpamActionShare[i] {
+			t.Fatalf("spam pay share %.2f not below action share %.2f (n=%d)",
+				r.SpamPayShare[i], r.SpamActionShare[i], n)
+		}
+	}
+	if s := r.String(); len(s) < 100 {
+		t.Fatalf("report too short: %q", s)
+	}
+}
+
+func TestE8ScalingWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run experiment")
+	}
+	r, err := E8(DefaultSeed, []int{2, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Workers) != 2 {
+		t.Fatalf("variants = %d", len(r.Workers))
+	}
+	for i := range r.Workers {
+		if !r.Done[i] {
+			t.Fatalf("%d-worker run did not converge", r.Workers[i])
+		}
+	}
+	// More workers must not slow collection down dramatically; typically
+	// they speed it up.
+	if r.Duration[1] > r.Duration[0]*3/2 {
+		t.Fatalf("5 workers (%v) much slower than 2 (%v)", r.Duration[1], r.Duration[0])
+	}
+	if s := r.String(); len(s) < 100 {
+		t.Fatalf("report too short: %q", s)
+	}
+}
+
+func TestCSVExports(t *testing.T) {
+	res := representative(t)
+	e3 := E3(res)
+	csv := e3.CSV()
+	if !strings.HasPrefix(csv, "worker,actual,estimate,corrected\n") {
+		t.Fatalf("figure5 csv header wrong:\n%s", csv)
+	}
+	if got := strings.Count(csv, "\n"); got != len(e3.Workers)+1 {
+		t.Fatalf("figure5 csv rows = %d", got)
+	}
+	e6, err := E6(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv6 := e6.CSV()
+	lines := strings.Split(strings.TrimSpace(csv6), "\n")
+	if len(lines) != 52 { // header + 51 samples
+		t.Fatalf("figure6 csv rows = %d", len(lines))
+	}
+	last := lines[len(lines)-1]
+	if !strings.HasPrefix(last, "1.00,1.0000,1.0000") {
+		t.Fatalf("figure6 final sample should reach 1.0: %s", last)
+	}
+}
+
+func TestE9ScoringSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run experiment")
+	}
+	r, err := E9(DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Names) != 3 {
+		t.Fatalf("variants = %d", len(r.Names))
+	}
+	// Heavier verification must cost strictly more votes.
+	if !(r.Votes[0] < r.Votes[1] && r.Votes[1] < r.Votes[2]) {
+		t.Fatalf("vote ordering wrong: %v", r.Votes)
+	}
+	for i := range r.Names {
+		if !r.Done[i] {
+			t.Fatalf("%s did not converge", r.Names[i])
+		}
+	}
+	if s := r.String(); len(s) < 100 {
+		t.Fatalf("report too short")
+	}
+}
+
+func TestE10StrategyAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run experiment")
+	}
+	r, err := E10([]int64{DefaultSeed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Strategies) != 2 || r.Strategies[0] != "random" {
+		t.Fatalf("strategies = %v", r.Strategies)
+	}
+	for i := range r.Strategies {
+		if r.Done[i] && r.Duration[i] <= 0 {
+			t.Fatalf("%s duration = %v", r.Strategies[i], r.Duration[i])
+		}
+	}
+	if s := r.String(); len(s) < 100 {
+		t.Fatalf("report too short")
+	}
+}
+
+func TestE11LatencySweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run experiment")
+	}
+	r, err := E11(DefaultSeed, []time.Duration{0, 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Latency) != 2 {
+		t.Fatalf("variants = %d", len(r.Latency))
+	}
+	for i := range r.Latency {
+		if !r.Done[i] {
+			t.Fatalf("latency %v run did not converge", r.Latency[i])
+		}
+		if r.Accuracy[i] < 0.9 {
+			t.Fatalf("latency %v accuracy = %.2f", r.Latency[i], r.Accuracy[i])
+		}
+	}
+	// §2.4.1: staler views must produce more conflict churn.
+	if r.Conflicts[1] <= r.Conflicts[0] {
+		t.Fatalf("latency should increase churn: %v", r.Conflicts)
+	}
+	if s := r.String(); len(s) < 100 {
+		t.Fatalf("report too short")
+	}
+}
+
+func TestE12PerformanceTracking(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run experiment")
+	}
+	r, err := E12(DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Tracking) != 2 || r.Tracking[0] || !r.Tracking[1] {
+		t.Fatalf("variants = %v", r.Tracking)
+	}
+	// Tracking must pull the spammer's projected earnings down toward their
+	// actual pay.
+	if r.SpamEstimate[1] >= r.SpamEstimate[0] {
+		t.Fatalf("tracking should shrink spam estimates: %.2f -> %.2f",
+			r.SpamEstimate[0], r.SpamEstimate[1])
+	}
+	if s := r.String(); len(s) < 100 {
+		t.Fatalf("report too short")
+	}
+}

@@ -1,0 +1,410 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"crowdfill/internal/crowd"
+	"crowdfill/internal/model"
+	"crowdfill/internal/pay"
+)
+
+// E7Report is the spammer-impact exploration the paper flags as "an
+// extremely important area of investigation" (§8): the same representative
+// workload with 0, 1, and 2 spammers injected, measuring how collection
+// time, final accuracy, and the spammers' share of the budget respond.
+type E7Report struct {
+	Spammers []int
+	Done     []bool
+	Duration []time.Duration
+	Accuracy []float64
+	// SpamPayShare is the fraction of distributed budget earned by
+	// spammers; SpamActionShare their fraction of paid actions.
+	SpamPayShare    []float64
+	SpamActionShare []float64
+}
+
+// E7 runs the spammer-impact experiment.
+func E7(seed int64) (E7Report, error) {
+	r := E7Report{}
+	for _, n := range []int{0, 1, 2} {
+		cfg := RepresentativeConfig(seed)
+		for i := 0; i < n; i++ {
+			cfg.Workers = append(cfg.Workers, crowd.Spec{
+				Name:    fmt.Sprintf("spammer%d", i+1),
+				Spammer: true,
+				Seed:    seed*97 + int64(i),
+			})
+		}
+		cfg.MaxVirtual = 6 * time.Hour
+		res, err := Run(cfg)
+		if err != nil {
+			return E7Report{}, err
+		}
+		var spamPay, totalPay float64
+		var spamActs, totalActs int
+		for _, w := range res.Workers {
+			totalPay += w.Actual
+			totalActs += w.Actions
+			if strings.HasPrefix(w.Name, "spammer") {
+				spamPay += w.Actual
+				spamActs += w.Actions
+			}
+		}
+		r.Spammers = append(r.Spammers, n)
+		r.Done = append(r.Done, res.Done)
+		r.Duration = append(r.Duration, res.Duration.Round(time.Second))
+		r.Accuracy = append(r.Accuracy, res.Accuracy)
+		payShare, actShare := 0.0, 0.0
+		if totalPay > 0 {
+			payShare = spamPay / totalPay
+		}
+		if totalActs > 0 {
+			actShare = float64(spamActs) / float64(totalActs)
+		}
+		r.SpamPayShare = append(r.SpamPayShare, payShare)
+		r.SpamActionShare = append(r.SpamActionShare, actShare)
+	}
+	return r, nil
+}
+
+// String renders the report.
+func (r E7Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "E7  Spammer impact (§8 exploration)\n")
+	fmt.Fprintf(&b, "    %-9s %6s %10s %10s %14s %16s\n",
+		"spammers", "done", "duration", "accuracy", "spam pay", "spam actions")
+	for i := range r.Spammers {
+		fmt.Fprintf(&b, "    %-9d %6v %10v %9.0f%% %13.1f%% %15.1f%%\n",
+			r.Spammers[i], r.Done[i], r.Duration[i], r.Accuracy[i]*100,
+			r.SpamPayShare[i]*100, r.SpamActionShare[i]*100)
+	}
+	fmt.Fprintf(&b, "    (contribution-based pay should hold spam pay share far below its action share)\n")
+	return b.String()
+}
+
+// E8Report is the worker-scaling exploration (§8: "more concurrent workers"
+// as part of larger-scale evaluations): collection time and churn as the
+// crowd grows on a fixed 20-row task.
+type E8Report struct {
+	Workers       []int
+	Done          []bool
+	Duration      []time.Duration
+	CandidateRows []int
+	Messages      []int
+}
+
+// E8 runs the worker-scaling experiment.
+func E8(seed int64, counts []int) (E8Report, error) {
+	if len(counts) == 0 {
+		counts = []int{2, 5, 8}
+	}
+	r := E8Report{}
+	base := RepresentativeConfig(seed).Workers
+	for _, n := range counts {
+		cfg := RepresentativeConfig(seed)
+		cfg.Workers = nil
+		for i := 0; i < n; i++ {
+			spec := base[i%len(base)]
+			spec.Name = fmt.Sprintf("worker%d", i+1)
+			spec.Seed = seed*131 + int64(i)
+			cfg.Workers = append(cfg.Workers, spec)
+		}
+		cfg.MaxVirtual = 6 * time.Hour
+		res, err := Run(cfg)
+		if err != nil {
+			return E8Report{}, err
+		}
+		r.Workers = append(r.Workers, n)
+		r.Done = append(r.Done, res.Done)
+		r.Duration = append(r.Duration, res.Duration.Round(time.Second))
+		r.CandidateRows = append(r.CandidateRows, res.CandidateRows)
+		r.Messages = append(r.Messages, len(res.Core.Trace()))
+	}
+	return r, nil
+}
+
+// String renders the report.
+func (r E8Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "E8  Scaling the crowd (§8 exploration, fixed 20-row task)\n")
+	fmt.Fprintf(&b, "    %-8s %6s %10s %12s %10s\n", "workers", "done", "duration", "candidates", "messages")
+	for i := range r.Workers {
+		fmt.Fprintf(&b, "    %-8d %6v %10v %12d %10d\n",
+			r.Workers[i], r.Done[i], r.Duration[i], r.CandidateRows[i], r.Messages[i])
+	}
+	fmt.Fprintf(&b, "    (more workers should shorten collection; conflicts grow only mildly)\n")
+	return b.String()
+}
+
+// CSV renders Figure 5's bar values as comma-separated rows
+// (worker,actual,estimate,corrected) for external plotting.
+func (r E3Report) CSV() string {
+	var b strings.Builder
+	b.WriteString("worker,actual,estimate,corrected\n")
+	for _, w := range r.Workers {
+		fmt.Fprintf(&b, "%s,%.4f,%.4f,%.4f\n", w.Name, w.Actual, w.RawEstimate, w.CorrectedEstimate)
+	}
+	return b.String()
+}
+
+// CSV renders Figure 6's earning-rate series sampled at 2%-of-runtime steps:
+// t_frac,<w1> weighted,<w1> uniform,<w2> weighted,<w2> uniform.
+func (r E6Report) CSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "t_frac,%s_weighted,%s_uniform,%s_weighted,%s_uniform\n",
+		r.Workers[0], r.Workers[0], r.Workers[1], r.Workers[1])
+	for step := 0; step <= 50; step++ {
+		frac := float64(step) / 50
+		t := time.Duration(float64(r.Duration) * frac)
+		fmt.Fprintf(&b, "%.2f,%.4f,%.4f,%.4f,%.4f\n", frac,
+			sampleCurve(r.Weighted[0], t), sampleCurve(r.Uniform[0], t),
+			sampleCurve(r.Weighted[1], t), sampleCurve(r.Uniform[1], t))
+	}
+	return b.String()
+}
+
+// E9Report sweeps the scoring function — the cost-latency-quality tradeoff
+// the paper frames the whole problem around (§1, [15]): lighter verification
+// finishes sooner but admits more errors.
+type E9Report struct {
+	Names    []string
+	Done     []bool
+	Duration []time.Duration
+	Accuracy []float64
+	Votes    []int // manual (paid) votes cast
+}
+
+// E9 runs the representative workload under default (u−d), majority-of-3,
+// and majority-of-5 scoring.
+func E9(seed int64) (E9Report, error) {
+	variants := []struct {
+		name       string
+		score      model.ScoreFunc
+		decidedNet int
+	}{
+		{"default (u-d)", model.DefaultScore, 1},
+		{"majority-of-3", model.MajorityShortcut(3), 2},
+		{"net-margin-3", model.NetMargin(3), 3},
+	}
+	r := E9Report{}
+	for _, v := range variants {
+		cfg := RepresentativeConfig(seed)
+		cfg.Score = v.score
+		cfg.MaxVotesPerRow = 0 // let heavier schemes gather the votes they need
+		for i := range cfg.Workers {
+			cfg.Workers[i].DecidedNet = v.decidedNet
+		}
+		cfg.MaxVirtual = 6 * time.Hour
+		res, err := Run(cfg)
+		if err != nil {
+			return E9Report{}, err
+		}
+		votes := 0
+		for _, w := range res.Workers {
+			votes += w.Upvotes + w.Downvotes
+		}
+		r.Names = append(r.Names, v.name)
+		r.Done = append(r.Done, res.Done)
+		r.Duration = append(r.Duration, res.Duration.Round(time.Second))
+		r.Accuracy = append(r.Accuracy, res.Accuracy)
+		r.Votes = append(r.Votes, votes)
+	}
+	return r, nil
+}
+
+// String renders the report.
+func (r E9Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "E9  Scoring-function sweep (cost-latency-quality tradeoff, §1)\n")
+	fmt.Fprintf(&b, "    %-15s %6s %10s %10s %8s\n", "scoring", "done", "duration", "accuracy", "votes")
+	for i := range r.Names {
+		fmt.Fprintf(&b, "    %-15s %6v %10v %9.0f%% %8d\n",
+			r.Names[i], r.Done[i], r.Duration[i], r.Accuracy[i]*100, r.Votes[i])
+	}
+	fmt.Fprintf(&b, "    (heavier verification costs votes and time, and buys quality)\n")
+	return b.String()
+}
+
+// E10Report is the §8 recommendation-strategy ablation: random fill choice
+// (the current system's randomized row presentation) against a
+// complete-nearest-row-first strategy.
+type E10Report struct {
+	Strategies []string
+	Done       []bool
+	Duration   []time.Duration
+	Candidates []int
+}
+
+// E10 compares fill-selection strategies over several seeds (single runs
+// are noisy); durations are averaged over the converged runs.
+func E10(seeds []int64) (E10Report, error) {
+	if len(seeds) == 0 {
+		seeds = []int64{DefaultSeed, DefaultSeed + 1, DefaultSeed + 2}
+	}
+	r := E10Report{Strategies: []string{"random", "focus"}}
+	for _, focus := range []bool{false, true} {
+		var total time.Duration
+		var cands, done int
+		for _, seed := range seeds {
+			cfg := RepresentativeConfig(seed)
+			for i := range cfg.Workers {
+				cfg.Workers[i].FocusFill = focus
+			}
+			res, err := Run(cfg)
+			if err != nil {
+				return E10Report{}, err
+			}
+			if res.Done {
+				done++
+				total += res.Duration
+				cands += res.CandidateRows
+			}
+		}
+		allDone := done == len(seeds)
+		var avg time.Duration
+		var avgCand int
+		if done > 0 {
+			avg = (total / time.Duration(done)).Round(time.Second)
+			avgCand = cands / done
+		}
+		r.Done = append(r.Done, allDone)
+		r.Duration = append(r.Duration, avg)
+		r.Candidates = append(r.Candidates, avgCand)
+	}
+	return r, nil
+}
+
+// String renders the report.
+func (r E10Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "E10 Fill-selection strategy ablation (§8 recommendation idea)\n")
+	fmt.Fprintf(&b, "    %-10s %6s %12s %12s\n", "strategy", "done", "avg duration", "avg cands")
+	for i := range r.Strategies {
+		fmt.Fprintf(&b, "    %-10s %6v %12v %12d\n",
+			r.Strategies[i], r.Done[i], r.Duration[i], r.Candidates[i])
+	}
+	fmt.Fprintf(&b, "    (uncoordinated focus LOSES: everyone piles onto the same row and\n")
+	fmt.Fprintf(&b, "     collides — evidence for the paper's per-worker row randomization, §3.4)\n")
+	return b.String()
+}
+
+// E11Report probes §2.4.1's concurrency story: as propagation latency grows,
+// workers act on staler table copies, so conflicting fills multiply — extra
+// rows appear and collection slows — while convergence keeps the final table
+// correct.
+type E11Report struct {
+	Latency  []time.Duration
+	Done     []bool
+	Duration []time.Duration
+	// Candidates counts end-of-run candidate rows; Conflicts the rows
+	// beyond final+downvoted (the paper's "extra row added by a conflict").
+	Candidates []int
+	Conflicts  []int
+	Accuracy   []float64
+}
+
+// E11 sweeps propagation latency on the representative workload.
+func E11(seed int64, latencies []time.Duration) (E11Report, error) {
+	if len(latencies) == 0 {
+		latencies = []time.Duration{0, 2 * time.Second, 10 * time.Second, 30 * time.Second}
+	}
+	r := E11Report{}
+	for _, lat := range latencies {
+		cfg := RepresentativeConfig(seed)
+		cfg.Latency = lat
+		cfg.MaxVirtual = 8 * time.Hour
+		res, err := Run(cfg)
+		if err != nil {
+			return E11Report{}, err
+		}
+		e1 := E1(res)
+		r.Latency = append(r.Latency, lat)
+		r.Done = append(r.Done, res.Done)
+		r.Duration = append(r.Duration, res.Duration.Round(time.Second))
+		r.Candidates = append(r.Candidates, res.CandidateRows)
+		r.Conflicts = append(r.Conflicts, e1.ExtraRows+e1.DownvotedRows)
+		r.Accuracy = append(r.Accuracy, res.Accuracy)
+	}
+	return r, nil
+}
+
+// String renders the report.
+func (r E11Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "E11 Propagation-latency sweep (§2.4.1 conflict behaviour)\n")
+	fmt.Fprintf(&b, "    %-10s %6s %10s %12s %10s %10s\n",
+		"latency", "done", "duration", "candidates", "churn", "accuracy")
+	for i := range r.Latency {
+		fmt.Fprintf(&b, "    %-10v %6v %10v %12d %10d %9.0f%%\n",
+			r.Latency[i], r.Done[i], r.Duration[i], r.Candidates[i], r.Conflicts[i],
+			r.Accuracy[i]*100)
+	}
+	fmt.Fprintf(&b, "    (staler views mean more conflicting fills; convergence keeps results correct)\n")
+	return b.String()
+}
+
+// E12Report evaluates the §5.3 performance-tracking refinement the paper
+// sets aside: with per-worker performance scaling on, a spammer's displayed
+// earnings projection collapses toward their (near-zero) actual pay, while
+// honest workers' estimates stay calibrated.
+type E12Report struct {
+	Tracking []bool
+	// SpamEstimate / SpamActual are the spammer's raw-estimate sum and
+	// actual pay; HonestMAPE the raw MAPE over the honest workers.
+	SpamEstimate []float64
+	SpamActual   []float64
+	HonestMAPE   []float64
+	Done         []bool
+}
+
+// E12 runs the representative workload plus one spammer, with and without
+// performance-tracked estimates.
+func E12(seed int64) (E12Report, error) {
+	r := E12Report{}
+	for _, tracking := range []bool{false, true} {
+		cfg := RepresentativeConfig(seed)
+		cfg.Workers = append(cfg.Workers, crowd.Spec{
+			Name: "spammer", Spammer: true, Seed: seed*89 + 7,
+		})
+		cfg.TrackPerformance = tracking
+		cfg.MaxVirtual = 6 * time.Hour
+		res, err := Run(cfg)
+		if err != nil {
+			return E12Report{}, err
+		}
+		honest := map[string]float64{}
+		honestEst := map[string]float64{}
+		var spamEst, spamActual float64
+		for _, w := range res.Workers {
+			if w.Name == "spammer" {
+				spamEst = w.RawEstimate
+				spamActual = w.Actual
+				continue
+			}
+			honest[w.Name] = w.Actual
+			honestEst[w.Name] = w.RawEstimate
+		}
+		r.Tracking = append(r.Tracking, tracking)
+		r.SpamEstimate = append(r.SpamEstimate, spamEst)
+		r.SpamActual = append(r.SpamActual, spamActual)
+		r.HonestMAPE = append(r.HonestMAPE, pay.MAPE(honest, honestEst))
+		r.Done = append(r.Done, res.Done)
+	}
+	return r, nil
+}
+
+// String renders the report.
+func (r E12Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "E12 Performance-tracked estimates vs a spammer (§5.3 refinement)\n")
+	fmt.Fprintf(&b, "    %-10s %6s %14s %12s %12s\n",
+		"tracking", "done", "spam est($)", "spam pay($)", "honest MAPE")
+	for i := range r.Tracking {
+		fmt.Fprintf(&b, "    %-10v %6v %14.2f %12.2f %11.1f%%\n",
+			r.Tracking[i], r.Done[i], r.SpamEstimate[i], r.SpamActual[i], r.HonestMAPE[i])
+	}
+	fmt.Fprintf(&b, "    (tracking shrinks the spammer's projected earnings toward reality)\n")
+	return b.String()
+}

@@ -1,0 +1,521 @@
+package frontend
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"crowdfill/internal/client"
+	"crowdfill/internal/docstore"
+	"crowdfill/internal/marketplace"
+	"crowdfill/internal/spec"
+	"crowdfill/internal/sync"
+	"crowdfill/internal/transport"
+	"crowdfill/internal/wsock"
+)
+
+func testFrontend(t *testing.T) (*Frontend, *httptest.Server, *marketplace.Marketplace) {
+	t.Helper()
+	store, err := docstore.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	market := marketplace.New(1, 20, true)
+	f := New(store, market, 5)
+	srv := httptest.NewServer(f.Handler())
+	t.Cleanup(srv.Close)
+	return f, srv, market
+}
+
+func doJSON(t *testing.T, method, url string, body any) (int, map[string]any) {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req, err := http.NewRequest(method, url, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	_ = json.NewDecoder(resp.Body).Decode(&out)
+	return resp.StatusCode, out
+}
+
+func kvSpec() spec.TableSpec {
+	return spec.TableSpec{
+		Name:        "KV",
+		Columns:     []spec.ColumnSpec{{Name: "k"}, {Name: "v"}},
+		Key:         []string{"k"},
+		Scoring:     spec.ScoringSpec{Kind: "majority", K: 3},
+		Cardinality: 2,
+		Budget:      4,
+		Scheme:      "uniform",
+	}
+}
+
+func TestSpecCRUD(t *testing.T) {
+	_, srv, _ := testFrontend(t)
+	// Create.
+	code, out := doJSON(t, "POST", srv.URL+"/api/specs", kvSpec())
+	if code != http.StatusCreated {
+		t.Fatalf("create = %d %v", code, out)
+	}
+	id := out["id"].(string)
+
+	// List.
+	code, _ = doJSON(t, "GET", srv.URL+"/api/specs", nil)
+	if code != http.StatusOK {
+		t.Fatalf("list = %d", code)
+	}
+	// Fetch.
+	code, out = doJSON(t, "GET", srv.URL+"/api/specs/"+id, nil)
+	if code != http.StatusOK || out["status"] != "draft" {
+		t.Fatalf("get = %d %v", code, out)
+	}
+	// Update.
+	updated := kvSpec()
+	updated.Budget = 6
+	code, _ = doJSON(t, "PUT", srv.URL+"/api/specs/"+id, updated)
+	if code != http.StatusOK {
+		t.Fatalf("put = %d", code)
+	}
+	// Delete.
+	code, _ = doJSON(t, "DELETE", srv.URL+"/api/specs/"+id, nil)
+	if code != http.StatusOK {
+		t.Fatalf("delete = %d", code)
+	}
+	code, _ = doJSON(t, "GET", srv.URL+"/api/specs/"+id, nil)
+	if code != http.StatusNotFound {
+		t.Fatalf("get after delete = %d", code)
+	}
+}
+
+func TestSpecValidationRejected(t *testing.T) {
+	_, srv, _ := testFrontend(t)
+	bad := kvSpec()
+	bad.Columns = nil
+	if code, _ := doJSON(t, "POST", srv.URL+"/api/specs", bad); code != http.StatusBadRequest {
+		t.Fatalf("invalid spec accepted: %d", code)
+	}
+	if code, _ := doJSON(t, "GET", srv.URL+"/api/specs/ghost", nil); code != http.StatusNotFound {
+		t.Fatalf("missing id = %d", code)
+	}
+	if code, _ := doJSON(t, "PATCH", srv.URL+"/api/specs", nil); code != http.StatusMethodNotAllowed {
+		t.Fatalf("bad method = %d", code)
+	}
+}
+
+// TestFullLifecycle drives spec → start → workers collect over WebSocket →
+// status/result → pay, checking the marketplace ledger at the end.
+func TestFullLifecycle(t *testing.T) {
+	f, srv, market := testFrontend(t)
+	code, out := doJSON(t, "POST", srv.URL+"/api/specs", kvSpec())
+	if code != http.StatusCreated {
+		t.Fatalf("create: %d", code)
+	}
+	id := out["id"].(string)
+
+	// Start publishes a HIT.
+	code, out = doJSON(t, "POST", srv.URL+"/api/specs/"+id+"/start", nil)
+	if code != http.StatusOK {
+		t.Fatalf("start = %d %v", code, out)
+	}
+	wsPath := out["ws"].(string)
+	// Starting twice conflicts.
+	if code, _ := doJSON(t, "POST", srv.URL+"/api/specs/"+id+"/start", nil); code != http.StatusConflict {
+		t.Fatalf("double start = %d", code)
+	}
+
+	// Two marketplace workers accept the HIT and collect the table.
+	cfg, err := kvSpec().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wsBase := "ws" + strings.TrimPrefix(srv.URL, "http") + wsPath
+	var runners []*client.Runner
+	for i := 0; i < 2; i++ {
+		worker, err := f.AcceptWorker(id)
+		if err != nil {
+			t.Fatalf("AcceptWorker: %v", err)
+		}
+		ws, err := wsock.Dial(wsBase + "?worker=" + worker)
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		c, err := client.New(client.Config{ID: worker, Worker: worker, Schema: cfg.Schema})
+		if err != nil {
+			t.Fatal(err)
+		}
+		runners = append(runners, client.NewRunner(c, transport.WrapWS(ws)))
+	}
+	defer func() {
+		for _, r := range runners {
+			r.Close()
+		}
+	}()
+
+	// Worker 0 fills both rows; worker 1 upvotes them.
+	fillAll := func(r *client.Runner, keys []string) {
+		for _, key := range keys {
+			key := key
+			waitFor(t, func() bool {
+				err := r.Do(func(c *client.Client) ([]sync.Message, error) {
+					for _, row := range c.Rows(nil) {
+						if row.Vec.IsEmpty() {
+							return c.Fill(row.ID, 0, key)
+						}
+					}
+					return nil, fmt.Errorf("no empty row yet")
+				})
+				return err == nil
+			})
+			waitFor(t, func() bool {
+				err := r.Do(func(c *client.Client) ([]sync.Message, error) {
+					for _, row := range c.Rows(nil) {
+						if row.Vec[0].Set && row.Vec[0].Val == key && !row.Vec[1].Set {
+							return c.Fill(row.ID, 1, "val-"+key)
+						}
+					}
+					return nil, fmt.Errorf("row not found")
+				})
+				return err == nil
+			})
+		}
+	}
+	fillAll(runners[0], []string{"alpha", "bravo"})
+	for _, key := range []string{"alpha", "bravo"} {
+		key := key
+		waitFor(t, func() bool {
+			err := runners[1].Do(func(c *client.Client) ([]sync.Message, error) {
+				for _, row := range c.Rows(nil) {
+					if row.Vec.IsComplete() && row.Vec[0].Val == key && !c.VotedOn(row.Vec) {
+						m, err := c.Upvote(row.ID)
+						if err != nil {
+							return nil, err
+						}
+						return []sync.Message{m}, nil
+					}
+				}
+				return nil, fmt.Errorf("row not complete yet")
+			})
+			return err == nil
+		})
+	}
+	waitFor(t, func() bool { return runners[0].Done() && runners[1].Done() })
+
+	// Status flips to done and archives the result.
+	code, out = doJSON(t, "GET", srv.URL+"/api/specs/"+id+"/status", nil)
+	if code != http.StatusOK || out["done"] != true {
+		t.Fatalf("status = %d %v", code, out)
+	}
+	code, out = doJSON(t, "GET", srv.URL+"/api/specs/"+id+"/result", nil)
+	if code != http.StatusOK {
+		t.Fatalf("result = %d %v", code, out)
+	}
+	rows := out["rows"].([]any)
+	if len(rows) != 2 {
+		t.Fatalf("result rows = %v", rows)
+	}
+
+	// Pay distributes the budget via marketplace bonuses.
+	code, out = doJSON(t, "POST", srv.URL+"/api/specs/"+id+"/pay", nil)
+	if code != http.StatusOK {
+		t.Fatalf("pay = %d %v", code, out)
+	}
+	if got := market.TotalPaid(); got <= 0 || got > 4.0001 {
+		t.Fatalf("marketplace total paid = %v", got)
+	}
+	if len(market.Ledger()) == 0 {
+		t.Fatalf("ledger empty")
+	}
+}
+
+func TestResultBeforeStart(t *testing.T) {
+	_, srv, _ := testFrontend(t)
+	code, out := doJSON(t, "POST", srv.URL+"/api/specs", kvSpec())
+	if code != http.StatusCreated {
+		t.Fatal(code)
+	}
+	id := out["id"].(string)
+	if code, _ := doJSON(t, "GET", srv.URL+"/api/specs/"+id+"/result", nil); code != http.StatusNotFound {
+		t.Fatalf("result before start = %d", code)
+	}
+	if code, _ := doJSON(t, "POST", srv.URL+"/api/specs/"+id+"/pay", nil); code != http.StatusConflict {
+		t.Fatalf("pay before start = %d", code)
+	}
+	// WS endpoint 404s for unknown collections.
+	resp, err := http.Get(srv.URL + "/ws/ghost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("ws ghost = %d", resp.StatusCode)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("condition not reached in time")
+}
+
+// TestSpecsPersistAcrossRestart: specs and archived results live in the
+// document store, so a new front-end over the same file sees them.
+func TestSpecsPersistAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/store.json"
+	store, err := docstore.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	market := marketplace.New(1, 5, true)
+	f := New(store, market, 5)
+	srv := httptest.NewServer(f.Handler())
+	code, out := doJSON(t, "POST", srv.URL+"/api/specs", kvSpec())
+	if code != http.StatusCreated {
+		t.Fatalf("create: %d", code)
+	}
+	id := out["id"].(string)
+	srv.Close()
+
+	store2, err := docstore.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2 := New(store2, marketplace.New(1, 5, true), 5)
+	srv2 := httptest.NewServer(f2.Handler())
+	defer srv2.Close()
+	code, out = doJSON(t, "GET", srv2.URL+"/api/specs/"+id, nil)
+	if code != http.StatusOK {
+		t.Fatalf("get after restart = %d %v", code, out)
+	}
+	if out["status"] != "draft" {
+		t.Fatalf("status after restart = %v", out["status"])
+	}
+}
+
+func TestSpecCRUDEdgeCases(t *testing.T) {
+	f, srv, _ := testFrontend(t)
+	code, out := doJSON(t, "POST", srv.URL+"/api/specs", kvSpec())
+	if code != http.StatusCreated {
+		t.Fatal(code)
+	}
+	id := out["id"].(string)
+
+	// Invalid update payloads rejected.
+	if code, _ := doJSON(t, "PUT", srv.URL+"/api/specs/"+id, "not-a-spec"); code != http.StatusBadRequest {
+		t.Fatalf("bad put = %d", code)
+	}
+	bad := kvSpec()
+	bad.Columns = nil
+	if code, _ := doJSON(t, "PUT", srv.URL+"/api/specs/"+id, bad); code != http.StatusBadRequest {
+		t.Fatalf("invalid put = %d", code)
+	}
+	// Wrong methods on the CRUD endpoint.
+	if code, _ := doJSON(t, "POST", srv.URL+"/api/specs/"+id, nil); code != http.StatusMethodNotAllowed {
+		t.Fatalf("post on id = %d", code)
+	}
+	// Unknown action.
+	if code, _ := doJSON(t, "GET", srv.URL+"/api/specs/"+id+"/frobnicate", nil); code != http.StatusNotFound {
+		t.Fatalf("unknown action = %d", code)
+	}
+	// Wrong methods on the action endpoints.
+	if code, _ := doJSON(t, "GET", srv.URL+"/api/specs/"+id+"/start", nil); code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET start = %d", code)
+	}
+	if code, _ := doJSON(t, "POST", srv.URL+"/api/specs/"+id+"/status", nil); code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST status = %d", code)
+	}
+	if code, _ := doJSON(t, "POST", srv.URL+"/api/specs/"+id+"/result", nil); code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST result = %d", code)
+	}
+	if code, _ := doJSON(t, "GET", srv.URL+"/api/specs/"+id+"/pay", nil); code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET pay = %d", code)
+	}
+	// Missing id segment.
+	if code, _ := doJSON(t, "GET", srv.URL+"/api/specs/", nil); code != http.StatusNotFound {
+		t.Fatalf("empty id = %d", code)
+	}
+	// AcceptWorker before start fails.
+	if _, err := f.AcceptWorker(id); err == nil {
+		t.Fatalf("accept before start should fail")
+	}
+	if _, err := f.AcceptWorker("ghost"); err == nil {
+		t.Fatalf("accept on missing spec should fail")
+	}
+	// Collection handle is nil before start.
+	if f.Collection(id) != nil {
+		t.Fatalf("collection before start should be nil")
+	}
+
+	// Start, then: delete running conflicts, update running conflicts,
+	// live-result path works, pay-before-done conflicts.
+	if code, _ := doJSON(t, "POST", srv.URL+"/api/specs/"+id+"/start", nil); code != http.StatusOK {
+		t.Fatalf("start failed")
+	}
+	if f.Collection(id) == nil {
+		t.Fatalf("collection after start should exist")
+	}
+	if code, _ := doJSON(t, "DELETE", srv.URL+"/api/specs/"+id, nil); code != http.StatusConflict {
+		t.Fatalf("delete running = %d", code)
+	}
+	if code, _ := doJSON(t, "PUT", srv.URL+"/api/specs/"+id, kvSpec()); code != http.StatusConflict {
+		t.Fatalf("update running = %d", code)
+	}
+	code, out = doJSON(t, "GET", srv.URL+"/api/specs/"+id+"/result", nil)
+	if code != http.StatusOK {
+		t.Fatalf("live result = %d %v", code, out)
+	}
+	if code, _ := doJSON(t, "POST", srv.URL+"/api/specs/"+id+"/pay", nil); code != http.StatusConflict {
+		t.Fatalf("pay before done = %d", code)
+	}
+	// Default maxWorkers path in New.
+	f2 := New(mustStore(t), marketplace.New(2, 3, true), 0)
+	if f2.maxWorkers != 10 {
+		t.Fatalf("default maxWorkers = %d", f2.maxWorkers)
+	}
+}
+
+func mustStore(t *testing.T) *docstore.Store {
+	t.Helper()
+	s, err := docstore.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestTraceEndpoint: the §3.3 bookkeeping trace is available live and stays
+// archived after completion.
+func TestTraceEndpoint(t *testing.T) {
+	f, srv, _ := testFrontend(t)
+	code, out := doJSON(t, "POST", srv.URL+"/api/specs", kvSpec())
+	if code != http.StatusCreated {
+		t.Fatal(code)
+	}
+	id := out["id"].(string)
+	if code, _ := doJSON(t, "GET", srv.URL+"/api/specs/"+id+"/trace", nil); code != http.StatusNotFound {
+		t.Fatalf("trace before start = %d", code)
+	}
+	if code, _ := doJSON(t, "POST", srv.URL+"/api/specs/"+id+"/start", nil); code != http.StatusOK {
+		t.Fatal("start failed")
+	}
+	// Live trace: CC seeding appears even before workers act.
+	code, out = doJSON(t, "GET", srv.URL+"/api/specs/"+id+"/trace", nil)
+	if code != http.StatusOK {
+		t.Fatalf("live trace = %d %v", code, out)
+	}
+	if cc, ok := out["ccLog"].([]any); !ok || len(cc) == 0 {
+		t.Fatalf("cc log missing: %v", out)
+	}
+	// A worker acts; the trace grows.
+	worker, err := f.AcceptWorker(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns := f.Collection(id)
+	serverSide, clientSide := transport.Pipe(64)
+	go ns.ServeConn(serverSide, worker)
+	cfg, _ := kvSpec().Build()
+	cl, err := client.New(client.Config{ID: worker, Worker: worker, Schema: cfg.Schema})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := client.NewRunner(cl, clientSide)
+	defer run.Close()
+	waitFor(t, func() bool {
+		ok := false
+		run.View(func(c *client.Client) { ok = len(c.Rows(nil)) == 2 })
+		return ok
+	})
+	if err := run.Do(func(c *client.Client) ([]sync.Message, error) {
+		return c.Fill(c.Rows(nil)[0].ID, 0, "x")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool {
+		_, out := doJSON(t, "GET", srv.URL+"/api/specs/"+id+"/trace", nil)
+		tr, _ := out["trace"].([]any)
+		return len(tr) >= 1
+	})
+}
+
+func TestStatementsEndpoint(t *testing.T) {
+	f, srv, _ := testFrontend(t)
+	// Default (u−d) scoring: a completed row is final from its auto-upvote,
+	// so the fill contributes (and appears on the statement) immediately.
+	ks := kvSpec()
+	ks.Scoring = spec.ScoringSpec{}
+	code, out := doJSON(t, "POST", srv.URL+"/api/specs", ks)
+	if code != http.StatusCreated {
+		t.Fatal(code)
+	}
+	id := out["id"].(string)
+	if code, _ := doJSON(t, "GET", srv.URL+"/api/specs/"+id+"/statements", nil); code != http.StatusConflict {
+		t.Fatalf("statements before start = %d", code)
+	}
+	if code, _ := doJSON(t, "POST", srv.URL+"/api/specs/"+id+"/start", nil); code != http.StatusOK {
+		t.Fatal("start failed")
+	}
+	// One worker contributes a fill so a statement exists.
+	worker, err := f.AcceptWorker(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns := f.Collection(id)
+	serverSide, clientSide := transport.Pipe(64)
+	go ns.ServeConn(serverSide, worker)
+	cfg, _ := ks.Build()
+	cl, _ := client.New(client.Config{ID: worker, Worker: worker, Schema: cfg.Schema})
+	run := client.NewRunner(cl, clientSide)
+	defer run.Close()
+	waitFor(t, func() bool {
+		ok := false
+		run.View(func(c *client.Client) { ok = len(c.Rows(nil)) == 2 })
+		return ok
+	})
+	if err := run.Do(func(c *client.Client) ([]sync.Message, error) {
+		return c.Fill(c.Rows(nil)[0].ID, 0, "x")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run.Do(func(c *client.Client) ([]sync.Message, error) {
+		for _, row := range c.Rows(nil) {
+			if row.Vec[0].Set && !row.Vec[1].Set {
+				return c.Fill(row.ID, 1, "1")
+			}
+		}
+		return nil, fmt.Errorf("not ready")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool {
+		code, out := doJSON(t, "GET", srv.URL+"/api/specs/"+id+"/statements", nil)
+		if code != http.StatusOK {
+			return false
+		}
+		sts, _ := out["statements"].(map[string]any)
+		s, _ := sts[worker].(string)
+		return strings.Contains(s, "fill k") && strings.Contains(s, "total")
+	})
+}

@@ -1,0 +1,42 @@
+package model_test
+
+import (
+	"fmt"
+
+	"crowdfill/internal/model"
+)
+
+// ExampleFinalTable reproduces the paper's §2.2 derivation: from a candidate
+// table with votes, the final table keeps each key's best positively-scored
+// complete row.
+func ExampleFinalTable() {
+	s := model.MustSchema("SoccerPlayer", []model.Column{
+		{Name: "name"}, {Name: "nationality"}, {Name: "position"},
+		{Name: "caps", Type: model.TypeInt}, {Name: "goals", Type: model.TypeInt},
+	}, "name", "nationality")
+	c := model.NewCandidate(s)
+	c.Put(&model.Row{ID: "r-1", Vec: model.VectorOf("Lionel Messi", "Argentina", "FW", "83", "37"), Up: 2})
+	c.Put(&model.Row{ID: "r-2", Vec: model.VectorOf("Ronaldinho", "Brazil", "MF", "97", "33"), Up: 3})
+	c.Put(&model.Row{ID: "r-3", Vec: model.VectorOf("Ronaldinho", "Brazil", "FW", "97", "33"), Up: 2, Down: 1})
+	c.Put(&model.Row{ID: "r-4", Vec: model.VectorOf("David Beckham", "England", "MF", "115", "17"), Up: 1})
+
+	majority3 := model.MajorityShortcut(3)
+	for _, row := range model.FinalTable(c, majority3) {
+		fmt.Println(row.Vec)
+	}
+	// Output:
+	// (Lionel Messi, Argentina, FW, 83, 37)
+	// (Ronaldinho, Brazil, MF, 97, 33)
+}
+
+// ExampleVector_Subset shows the subsumption relation votes and constraints
+// are built on.
+func ExampleVector_Subset() {
+	partial := model.VectorOf("Lionel Messi", "", "FW", "", "")
+	full := model.VectorOf("Lionel Messi", "Argentina", "FW", "83", "37")
+	fmt.Println(partial.Subset(full))
+	fmt.Println(full.Subset(partial))
+	// Output:
+	// true
+	// false
+}

@@ -1,0 +1,48 @@
+package model
+
+import "sort"
+
+// FinalTable derives the final table S from candidate table c (paper §2.2):
+// S contains each complete row r with f(u_r, d_r) > 0 whose score is the
+// highest among rows with the same primary key. Ties are broken
+// deterministically by lowest row id. Rows are returned sorted by id.
+// The result respects the primary-key constraint by construction.
+func FinalTable(c *Candidate, f ScoreFunc) []*Row {
+	s := c.Schema()
+	best := make(map[string]*Row)
+	c.Each(func(r *Row) {
+		if !r.Vec.IsComplete() {
+			return
+		}
+		score := f(r.Up, r.Down)
+		if score <= 0 {
+			return
+		}
+		k := r.Vec.KeyOf(s)
+		cur, ok := best[k]
+		if !ok {
+			best[k] = r
+			return
+		}
+		curScore := f(cur.Up, cur.Down)
+		if score > curScore || (score == curScore && r.ID < cur.ID) {
+			best[k] = r
+		}
+	})
+	out := make([]*Row, 0, len(best))
+	for _, r := range best {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// FinalVectors is FinalTable projected to row values.
+func FinalVectors(c *Candidate, f ScoreFunc) []Vector {
+	rows := FinalTable(c, f)
+	out := make([]Vector, len(rows))
+	for i, r := range rows {
+		out[i] = r.Vec
+	}
+	return out
+}

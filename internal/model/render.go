@@ -1,0 +1,118 @@
+package model
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderTable renders rows as an aligned text table in the paper's figure
+// style: one column per schema column plus ↑/↓ vote-count columns. Empty
+// cells print as "·". Intended for CLIs, examples, and debugging output.
+func RenderTable(s *Schema, rows []*Row) string {
+	headers := make([]string, 0, s.NumColumns()+2)
+	for _, c := range s.Columns {
+		headers = append(headers, c.Name)
+	}
+	headers = append(headers, "↑", "↓")
+
+	cells := make([][]string, 0, len(rows)+1)
+	cells = append(cells, headers)
+	for _, r := range rows {
+		line := make([]string, 0, len(headers))
+		for _, c := range r.Vec {
+			if c.Set {
+				line = append(line, c.Val)
+			} else {
+				line = append(line, "·")
+			}
+		}
+		line = append(line, fmt.Sprint(r.Up), fmt.Sprint(r.Down))
+		cells = append(cells, line)
+	}
+
+	widths := make([]int, len(headers))
+	for _, line := range cells {
+		for i, cell := range line {
+			if w := displayWidth(cell); w > widths[i] {
+				widths[i] = w
+			}
+		}
+	}
+
+	var b strings.Builder
+	for li, line := range cells {
+		for i, cell := range line {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			if i < len(line)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-displayWidth(cell)))
+			}
+		}
+		b.WriteByte('\n')
+		if li == 0 {
+			total := 0
+			for _, w := range widths {
+				total += w + 2
+			}
+			b.WriteString(strings.Repeat("-", total-2))
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// displayWidth counts runes (the vote arrows are multi-byte but single-width).
+func displayWidth(s string) int { return len([]rune(s)) }
+
+// RenderFinal renders a final table (no vote columns; final scores are
+// implied by membership).
+func RenderFinal(s *Schema, rows []*Row) string {
+	headers := make([]string, 0, s.NumColumns())
+	for _, c := range s.Columns {
+		headers = append(headers, c.Name)
+	}
+	cells := [][]string{headers}
+	for _, r := range rows {
+		line := make([]string, 0, len(headers))
+		for _, c := range r.Vec {
+			if c.Set {
+				line = append(line, c.Val)
+			} else {
+				line = append(line, "·")
+			}
+		}
+		cells = append(cells, line)
+	}
+	widths := make([]int, len(headers))
+	for _, line := range cells {
+		for i, cell := range line {
+			if w := displayWidth(cell); w > widths[i] {
+				widths[i] = w
+			}
+		}
+	}
+	var b strings.Builder
+	for li, line := range cells {
+		for i, cell := range line {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			if i < len(line)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-displayWidth(cell)))
+			}
+		}
+		b.WriteByte('\n')
+		if li == 0 {
+			total := 0
+			for _, w := range widths {
+				total += w + 2
+			}
+			b.WriteString(strings.Repeat("-", total-2))
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

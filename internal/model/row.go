@@ -1,0 +1,143 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// RowID identifies a row. Fill operations mint a globally-unique new id for
+// the row they construct (paper §2.4); ids are "<origin>-<counter>" strings.
+type RowID string
+
+// Row is a candidate-table row: an identifier, a value vector, and upvote /
+// downvote counts.
+type Row struct {
+	ID   RowID  `json:"id"`
+	Vec  Vector `json:"vec"`
+	Up   int    `json:"up"`
+	Down int    `json:"down"`
+}
+
+// Clone deep-copies the row.
+func (r *Row) Clone() *Row {
+	return &Row{ID: r.ID, Vec: r.Vec.Clone(), Up: r.Up, Down: r.Down}
+}
+
+// String renders the row for logs and test failures.
+func (r *Row) String() string {
+	return fmt.Sprintf("%s%v ↑%d ↓%d", r.ID, r.Vec, r.Up, r.Down)
+}
+
+// Candidate is a candidate table R: a set of rows annotated with vote counts.
+// It is a plain data structure; the replica logic in internal/sync applies
+// the primitive-operation semantics. A value index accelerates the
+// equality lookups vote application needs (upvotes touch every row whose
+// value equals the voted vector).
+type Candidate struct {
+	schema *Schema
+	rows   map[RowID]*Row
+	// byValue indexes row ids by Vector.Encode. Callers must not mutate a
+	// stored row's vector in place (the operation model never does: fills
+	// replace rows wholesale).
+	byValue map[string]map[RowID]*Row
+}
+
+// NewCandidate returns an empty candidate table over schema s.
+func NewCandidate(s *Schema) *Candidate {
+	return &Candidate{
+		schema:  s,
+		rows:    make(map[RowID]*Row),
+		byValue: make(map[string]map[RowID]*Row),
+	}
+}
+
+// Schema returns the table's schema.
+func (c *Candidate) Schema() *Schema { return c.schema }
+
+// Len returns the number of rows.
+func (c *Candidate) Len() int { return len(c.rows) }
+
+// Get returns the row with the given id, or nil.
+func (c *Candidate) Get(id RowID) *Row { return c.rows[id] }
+
+// Has reports whether a row with the given id exists.
+func (c *Candidate) Has(id RowID) bool { _, ok := c.rows[id]; return ok }
+
+// Put inserts or replaces a row object.
+func (c *Candidate) Put(r *Row) {
+	if old, ok := c.rows[r.ID]; ok {
+		c.unindex(old)
+	}
+	c.rows[r.ID] = r
+	k := r.Vec.Encode()
+	bucket := c.byValue[k]
+	if bucket == nil {
+		bucket = make(map[RowID]*Row)
+		c.byValue[k] = bucket
+	}
+	bucket[r.ID] = r
+}
+
+// Delete removes the row with the given id, if present.
+func (c *Candidate) Delete(id RowID) {
+	if old, ok := c.rows[id]; ok {
+		c.unindex(old)
+		delete(c.rows, id)
+	}
+}
+
+func (c *Candidate) unindex(r *Row) {
+	k := r.Vec.Encode()
+	if bucket := c.byValue[k]; bucket != nil {
+		delete(bucket, r.ID)
+		if len(bucket) == 0 {
+			delete(c.byValue, k)
+		}
+	}
+}
+
+// EachWithValue calls fn for every row whose value equals v, using the value
+// index (vote application's equality case, §2.4).
+func (c *Candidate) EachWithValue(v Vector, fn func(*Row)) {
+	for _, r := range c.byValue[v.Encode()] {
+		fn(r)
+	}
+}
+
+// Rows returns all rows sorted by id (deterministic iteration order).
+func (c *Candidate) Rows() []*Row {
+	out := make([]*Row, 0, len(c.rows))
+	for _, r := range c.rows {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Each calls fn for every row in unspecified order; fn must not add or
+// delete rows.
+func (c *Candidate) Each(fn func(*Row)) {
+	for _, r := range c.rows {
+		fn(r)
+	}
+}
+
+// Clone deep-copies the table (including the value index).
+func (c *Candidate) Clone() *Candidate {
+	out := NewCandidate(c.schema)
+	for _, r := range c.rows {
+		out.Put(r.Clone())
+	}
+	return out
+}
+
+// Snapshot renders a canonical textual form of the table (rows sorted by id),
+// used to compare replicas in convergence tests.
+func (c *Candidate) Snapshot() string {
+	var b strings.Builder
+	for _, r := range c.Rows() {
+		fmt.Fprintf(&b, "%s=%s u%d d%d\n", r.ID, r.Vec.Encode(), r.Up, r.Down)
+	}
+	return b.String()
+}

@@ -1,0 +1,191 @@
+package model
+
+import (
+	"strings"
+	"testing"
+)
+
+// soccerSchema returns the paper's running-example schema
+// SoccerPlayer(name, nationality, position, caps, goals) with key
+// (name, nationality).
+func soccerSchema(t testing.TB) *Schema {
+	t.Helper()
+	s, err := NewSchema("SoccerPlayer", []Column{
+		{Name: "name", Type: TypeString},
+		{Name: "nationality", Type: TypeString},
+		{Name: "position", Type: TypeString, Domain: []string{"GK", "DF", "MF", "FW"}},
+		{Name: "caps", Type: TypeInt},
+		{Name: "goals", Type: TypeInt},
+	}, "name", "nationality")
+	if err != nil {
+		t.Fatalf("NewSchema: %v", err)
+	}
+	return s
+}
+
+func TestNewSchemaValid(t *testing.T) {
+	s := soccerSchema(t)
+	if got := s.NumColumns(); got != 5 {
+		t.Fatalf("NumColumns = %d, want 5", got)
+	}
+	if got := s.KeyColumns(); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("KeyColumns = %v, want [0 1]", got)
+	}
+	if !s.IsKeyColumn(0) || !s.IsKeyColumn(1) || s.IsKeyColumn(2) {
+		t.Fatalf("IsKeyColumn wrong: key cols are 0,1")
+	}
+}
+
+func TestNewSchemaUnknownKeyColumn(t *testing.T) {
+	_, err := NewSchema("T", []Column{{Name: "a", Type: TypeString}}, "nope")
+	if err == nil || !strings.Contains(err.Error(), "key column") {
+		t.Fatalf("want key-column error, got %v", err)
+	}
+}
+
+func TestSchemaValidateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		s    *Schema
+		want string
+	}{
+		{"nil", nil, "nil schema"},
+		{"noname", &Schema{Columns: []Column{{Name: "a"}}}, "needs a name"},
+		{"nocols", &Schema{Name: "T"}, "at least one column"},
+		{"dupcol", &Schema{Name: "T", Columns: []Column{{Name: "a"}, {Name: "a"}}}, "duplicate column"},
+		{"emptycol", &Schema{Name: "T", Columns: []Column{{Name: ""}}}, "has no name"},
+		{"badkey", &Schema{Name: "T", Columns: []Column{{Name: "a"}}, Key: []int{3}}, "out of range"},
+		{"dupkey", &Schema{Name: "T", Columns: []Column{{Name: "a"}, {Name: "b"}}, Key: []int{0, 0}}, "duplicate key"},
+		{"baddomain", &Schema{Name: "T", Columns: []Column{{Name: "a", Type: TypeInt, Domain: []string{"xyz"}}}}, "domain"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.s.Validate()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Validate() = %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestDefaultKeyIsAllColumns(t *testing.T) {
+	s := MustSchema("T", []Column{{Name: "a"}, {Name: "b"}, {Name: "c"}})
+	if got := s.KeyColumns(); len(got) != 3 {
+		t.Fatalf("default key = %v, want all 3 columns", got)
+	}
+}
+
+func TestColumnIndex(t *testing.T) {
+	s := soccerSchema(t)
+	if got := s.ColumnIndex("caps"); got != 3 {
+		t.Fatalf("ColumnIndex(caps) = %d, want 3", got)
+	}
+	if got := s.ColumnIndex("missing"); got != -1 {
+		t.Fatalf("ColumnIndex(missing) = %d, want -1", got)
+	}
+}
+
+func TestCanonicalValue(t *testing.T) {
+	cases := []struct {
+		typ     Type
+		in      string
+		want    string
+		wantErr bool
+	}{
+		{TypeString, "  Messi ", "Messi", false},
+		{TypeString, "", "", true},
+		{TypeInt, "083", "83", false},
+		{TypeInt, "-5", "-5", false},
+		{TypeInt, "abc", "", true},
+		{TypeInt, "1.5", "", true},
+		{TypeFloat, "1.50", "1.5", false},
+		{TypeFloat, "x", "", true},
+		{TypeDate, "1987-06-24", "1987-06-24", false},
+		{TypeDate, "24/06/1987", "", true},
+	}
+	for _, tc := range cases {
+		got, err := CanonicalValue(tc.typ, tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("CanonicalValue(%v, %q): want error, got %q", tc.typ, tc.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("CanonicalValue(%v, %q): %v", tc.typ, tc.in, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("CanonicalValue(%v, %q) = %q, want %q", tc.typ, tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestCheckValueDomain(t *testing.T) {
+	s := soccerSchema(t)
+	if _, err := s.CheckValue(2, "FW"); err != nil {
+		t.Fatalf("CheckValue(position, FW): %v", err)
+	}
+	if _, err := s.CheckValue(2, "XX"); err == nil {
+		t.Fatalf("CheckValue(position, XX): want domain error")
+	}
+	if got, err := s.CheckValue(3, "097"); err != nil || got != "97" {
+		t.Fatalf("CheckValue(caps, 097) = %q, %v; want 97", got, err)
+	}
+	if _, err := s.CheckValue(99, "x"); err == nil {
+		t.Fatalf("CheckValue out-of-range column: want error")
+	}
+}
+
+func TestParseTypeRoundTrip(t *testing.T) {
+	for _, typ := range []Type{TypeString, TypeInt, TypeFloat, TypeDate} {
+		got, err := ParseType(typ.String())
+		if err != nil || got != typ {
+			t.Errorf("ParseType(%q) = %v, %v", typ.String(), got, err)
+		}
+	}
+	if _, err := ParseType("blob"); err == nil {
+		t.Errorf("ParseType(blob): want error")
+	}
+}
+
+func TestCompareTyped(t *testing.T) {
+	if CompareTyped(TypeInt, "9", "10") >= 0 {
+		t.Errorf("int compare 9 < 10 failed")
+	}
+	if CompareTyped(TypeFloat, "2.5", "2.5") != 0 {
+		t.Errorf("float compare equality failed")
+	}
+	if CompareTyped(TypeString, "a", "b") >= 0 {
+		t.Errorf("string compare failed")
+	}
+	if CompareTyped(TypeDate, "1987-06-24", "1990-01-01") >= 0 {
+		t.Errorf("date compare failed")
+	}
+}
+
+func TestNetMargin(t *testing.T) {
+	m := NetMargin(3)
+	if err := ValidateScore(m, 8); err != nil {
+		t.Fatalf("NetMargin(3) invalid: %v", err)
+	}
+	cases := []struct{ u, d, want int }{
+		{0, 0, 0}, {2, 0, 0}, {3, 0, 3}, {4, 1, 3}, {0, 3, -3}, {1, 3, 0}, {5, 1, 4},
+	}
+	for _, tc := range cases {
+		if got := m(tc.u, tc.d); got != tc.want {
+			t.Errorf("NetMargin(3)(%d,%d) = %d, want %d", tc.u, tc.d, got, tc.want)
+		}
+	}
+	if got := MinUpvotes(m, 10); got != 3 {
+		t.Errorf("MinUpvotes = %d", got)
+	}
+	if NetMargin(0)(1, 0) != 1 {
+		t.Errorf("NetMargin clamps k to 1")
+	}
+	// The documented subtlety: the paper's shortcut scheme breaks
+	// monotonicity beyond k=3.
+	if err := ValidateScore(MajorityShortcut(5), 8); err == nil {
+		t.Errorf("MajorityShortcut(5) should fail validation")
+	}
+}

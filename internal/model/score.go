@@ -1,0 +1,85 @@
+package model
+
+import "fmt"
+
+// ScoreFunc aggregates a row's upvote and downvote counts into a score
+// (paper §2.1). A positive score suggests the row is acceptable, negative
+// not acceptable, zero undecided. Valid functions satisfy f(0,0)=0, are
+// monotonically increasing in up and decreasing in down.
+type ScoreFunc func(up, down int) int
+
+// DefaultScore is the paper's default scoring function f(u,d) = u − d.
+func DefaultScore(up, down int) int { return up - down }
+
+// MajorityShortcut returns the paper's "majority of k or more" scheme with
+// shortcutting: f(u,d) = u−d once u+d ≥ k−1, else 0. The paper's running
+// example is MajorityShortcut(3): u−d if u+d ≥ 2, else 0.
+//
+// Note a formal subtlety: the vote-count threshold makes this function
+// non-monotone in upvotes for k > 3 (e.g. k=5 gives f(0,3)=0 but
+// f(1,3)=−2, so an upvote lowers the score), violating the model's §2.1
+// requirements; ValidateScore rejects it. Use NetMargin for heavier
+// verification requirements.
+func MajorityShortcut(k int) ScoreFunc {
+	if k < 1 {
+		k = 1
+	}
+	return func(up, down int) int {
+		if up+down >= k-1 {
+			return up - down
+		}
+		return 0
+	}
+}
+
+// NetMargin returns the monotone heavy-verification scheme
+// f(u,d) = u−d when |u−d| ≥ k, else 0: a row needs a net margin of k
+// agreeing votes before it is accepted (or rejected). Unlike
+// MajorityShortcut with large k, NetMargin satisfies the model's
+// monotonicity requirements for every k ≥ 1.
+func NetMargin(k int) ScoreFunc {
+	if k < 1 {
+		k = 1
+	}
+	return func(up, down int) int {
+		d := up - down
+		if d >= k || d <= -k {
+			return d
+		}
+		return 0
+	}
+}
+
+// MinUpvotes returns the smallest u such that f(u, 0) > 0, i.e. the number of
+// upvotes an uncontested row needs to enter the final table. Returns limit+1
+// if no u ≤ limit suffices.
+func MinUpvotes(f ScoreFunc, limit int) int {
+	for u := 0; u <= limit; u++ {
+		if f(u, 0) > 0 {
+			return u
+		}
+	}
+	return limit + 1
+}
+
+// ValidateScore checks the model's requirements on f over vote counts up to
+// maxVotes: f(0,0)=0, monotone non-decreasing in u, non-increasing in d.
+func ValidateScore(f ScoreFunc, maxVotes int) error {
+	if f == nil {
+		return fmt.Errorf("model: nil scoring function")
+	}
+	if f(0, 0) != 0 {
+		return fmt.Errorf("model: scoring function must have f(0,0)=0, got %d", f(0, 0))
+	}
+	for u := 0; u <= maxVotes; u++ {
+		for d := 0; d <= maxVotes; d++ {
+			if u < maxVotes && f(u+1, d) < f(u, d) {
+				return fmt.Errorf("model: scoring function not monotone in upvotes at (%d,%d)", u, d)
+			}
+			if d < maxVotes && f(u, d+1) > f(u, d) {
+				return fmt.Errorf("model: scoring function not monotone in downvotes at (%d,%d)", u, d)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,399 @@
+package pay
+
+import (
+	"crowdfill/internal/constraint"
+	"crowdfill/internal/model"
+	"crowdfill/internal/sync"
+)
+
+// Record is one per-action estimate shown to a worker during collection,
+// kept so experiments can compare estimated against actual compensation
+// (Figure 5).
+type Record struct {
+	TraceIdx int
+	Worker   string
+	Estimate float64
+}
+
+// Estimator implements §5.3's online compensation estimation: every worker
+// action gets an estimated pay, computed under the assumptions that (1) the
+// action will contribute to the final table and (2) a fill contributes both
+// directly and indirectly. Estimates for the weighted schemes start from
+// uniform weights and converge as latency observations accumulate.
+type Estimator struct {
+	schema *model.Schema
+	score  model.ScoreFunc
+	scheme Scheme
+	budget float64
+	tmpl   constraint.Template
+	umin   int
+	start  int64
+
+	lastTS map[string]int64
+	joinTS map[string]int64
+
+	colGaps  [][]float64
+	upGaps   []float64
+	downGaps []float64
+
+	// firstSeen[col][val] is the earliest fill of val into col, for the
+	// dual scheme's key-value ordering.
+	firstSeen []map[string]int64
+	// downvoted stores observed downvote vectors; estD counts those still
+	// consistent with all probable rows.
+	downvoted []model.Vector
+
+	// Records holds one entry per paid observed worker action, in trace
+	// order. TraceIdx indexes the server's trace (Observe must be called
+	// exactly once per trace message, in order).
+	Records []Record
+	// PerWorker accumulates raw estimate sums per worker.
+	PerWorker map[string]float64
+
+	observed int // trace messages seen so far
+
+	// trackPerformance enables the §5.3 future-work refinement the paper
+	// explicitly sets aside ("if we kept track of worker's past
+	// performance we could adjust our estimates accordingly"): each
+	// worker's estimates are scaled by their observed rate of useful
+	// actions, so consistently-unhelpful workers watch their projected
+	// earnings collapse.
+	trackPerformance bool
+	workerActions    map[string]int
+	workerUseful     map[string]int
+}
+
+// NewEstimator returns an estimator for one data-collection run. start is
+// the collection start timestamp.
+func NewEstimator(schema *model.Schema, score model.ScoreFunc, scheme Scheme, budget float64, tmpl constraint.Template, start int64) *Estimator {
+	e := &Estimator{
+		schema:    schema,
+		score:     score,
+		scheme:    scheme,
+		budget:    budget,
+		tmpl:      tmpl,
+		umin:      model.MinUpvotes(score, 64),
+		start:     start,
+		lastTS:    make(map[string]int64),
+		joinTS:    make(map[string]int64),
+		colGaps:   make([][]float64, schema.NumColumns()),
+		firstSeen: make([]map[string]int64, schema.NumColumns()),
+		PerWorker: make(map[string]float64),
+	}
+	for i := range e.firstSeen {
+		e.firstSeen[i] = make(map[string]int64)
+	}
+	e.workerActions = make(map[string]int)
+	e.workerUseful = make(map[string]int)
+	return e
+}
+
+// TrackPerformance enables per-worker performance scaling of estimates
+// (§5.3's noted refinement). Call before observing any messages.
+func (e *Estimator) TrackPerformance(on bool) { e.trackPerformance = on }
+
+// performanceFactor returns the worker's useful-action rate with a Laplace
+// prior, so new workers start near 1 and spam drags the factor down.
+func (e *Estimator) performanceFactor(worker string) float64 {
+	if !e.trackPerformance {
+		return 1
+	}
+	a := e.workerActions[worker]
+	u := e.workerUseful[worker]
+	return (float64(u) + 2) / (float64(a) + 2)
+}
+
+// Join records a worker's join time (the baseline for their first action's
+// time-taken).
+func (e *Estimator) Join(worker string, ts int64) {
+	if _, ok := e.joinTS[worker]; !ok {
+		e.joinTS[worker] = ts
+	}
+}
+
+// Observe computes the estimate displayed for message m (based on the state
+// before m is applied), records it, and folds m's latency into the weight
+// estimates. rep must be the replica state BEFORE applying m.
+func (e *Estimator) Observe(m sync.Message, rep *sync.Replica) float64 {
+	idx := e.observed
+	e.observed++
+	if m.Worker == "" || (m.Type == sync.MsgUpvote && m.Auto) {
+		// CC traffic and auto-upvotes are unpaid and show no estimate,
+		// but fills that carry an auto-upvote are handled as replaces.
+		if m.Type != sync.MsgReplace {
+			return 0
+		}
+	}
+	prob := constraint.Probable(rep.Table(), e.score)
+
+	var est float64
+	switch m.Type {
+	case sync.MsgReplace:
+		est = e.estimateFill(m.Col, prob)
+	case sync.MsgUpvote:
+		est = e.estimateVote(true, prob)
+	case sync.MsgDownvote:
+		est = e.estimateVote(false, prob)
+	default:
+		return 0
+	}
+	est *= e.performanceFactor(m.Worker)
+	e.Records = append(e.Records, Record{TraceIdx: idx, Worker: m.Worker, Estimate: est})
+	e.PerWorker[m.Worker] += est
+
+	e.absorb(m, prob)
+	return est
+}
+
+// absorb folds one observed message into the latency statistics and the
+// per-worker performance counters.
+func (e *Estimator) absorb(m sync.Message, prob []*model.Row) {
+	useful := e.looksUseful(m, prob)
+	if m.Worker != "" && !(m.Type == sync.MsgUpvote && m.Auto) {
+		e.workerActions[m.Worker]++
+		if useful {
+			e.workerUseful[m.Worker]++
+		}
+	}
+	prev, ok := e.lastTS[m.Worker]
+	if !ok {
+		if jt, okj := e.joinTS[m.Worker]; okj {
+			prev = jt
+		} else {
+			prev = e.start
+		}
+	}
+	gap := float64(m.TS-prev) / 1e9
+	if gap < 0 {
+		gap = 0
+	}
+	e.lastTS[m.Worker] = m.TS
+
+	switch m.Type {
+	case sync.MsgReplace:
+		if t, seen := e.firstSeen[m.Col][m.Val]; !seen || m.TS < t {
+			e.firstSeen[m.Col][m.Val] = m.TS
+		}
+		// Count the latency only when the filled row was probable (a proxy
+		// for "contributes to the current probable rows", §5.3). The replica
+		// may be observed before or after the message applied, so accept the
+		// replaced row id or the newly-created one.
+		for _, p := range prob {
+			if p.ID == m.Row || p.ID == m.NewRow {
+				e.colGaps[m.Col] = append(e.colGaps[m.Col], gap)
+				break
+			}
+		}
+	case sync.MsgUpvote:
+		if m.Auto {
+			return
+		}
+		for _, p := range prob {
+			if p.Vec.Equal(m.Vec) {
+				e.upGaps = append(e.upGaps, gap)
+				break
+			}
+		}
+	case sync.MsgDownvote:
+		consistent := true
+		for _, p := range prob {
+			if p.Vec.Superset(m.Vec) {
+				consistent = false
+				break
+			}
+		}
+		if consistent {
+			e.downGaps = append(e.downGaps, gap)
+		}
+		e.downvoted = append(e.downvoted, m.Vec.Clone())
+	}
+}
+
+// looksUseful approximates whether an action contributes, with the same
+// probable-row heuristics the weight statistics use.
+func (e *Estimator) looksUseful(m sync.Message, prob []*model.Row) bool {
+	switch m.Type {
+	case sync.MsgReplace:
+		for _, p := range prob {
+			if p.ID == m.Row || p.ID == m.NewRow {
+				return true
+			}
+		}
+	case sync.MsgUpvote:
+		for _, p := range prob {
+			if p.Vec.Equal(m.Vec) {
+				return true
+			}
+		}
+	case sync.MsgDownvote:
+		for _, p := range prob {
+			if p.Vec.Superset(m.Vec) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// weights returns the current weight estimates (uniform until latency data
+// accumulates).
+func (e *Estimator) weights() (col []float64, up, down float64) {
+	col = make([]float64, e.schema.NumColumns())
+	if e.scheme == Uniform {
+		for i := range col {
+			col[i] = 1
+		}
+		return col, 1, 1
+	}
+	var have []float64
+	for i := range col {
+		col[i] = median(e.colGaps[i])
+		if col[i] > 0 {
+			have = append(have, col[i])
+		}
+	}
+	fallback := median(have)
+	if fallback == 0 {
+		fallback = 1
+	}
+	for i := range col {
+		if col[i] == 0 {
+			col[i] = fallback
+		}
+	}
+	up = median(e.upGaps)
+	if up == 0 {
+		up = fallback
+	}
+	down = median(e.downGaps)
+	if down == 0 {
+		down = fallback
+	}
+	return col, up, down
+}
+
+// estimates of the denominators |C|, |U|, |D| (§5.3).
+func (e *Estimator) counts(prob []*model.Row) (estC []int, estU, estD int) {
+	estC = make([]int, e.schema.NumColumns())
+	for i := range estC {
+		estC[i] = e.tmpl.EmptyCellsInColumn(i)
+	}
+	// |U|: start with (umin−1)·|T| and grow as probable rows accumulate
+	// more upvotes than needed.
+	estU = (e.umin - 1) * len(e.tmpl.Rows)
+	for _, p := range prob {
+		if p.Vec.IsComplete() {
+			if extra := p.Up - (e.umin - 1); extra > 0 {
+				estU += extra
+			}
+		}
+	}
+	// |D|: downvotes consistent with all current probable rows.
+	for _, v := range e.downvoted {
+		consistent := true
+		for _, p := range prob {
+			if p.Vec.Superset(v) {
+				consistent = false
+				break
+			}
+		}
+		if consistent {
+			estD++
+		}
+	}
+	return estC, estU, estD
+}
+
+func (e *Estimator) denominator(prob []*model.Row) (col []float64, up, down, y float64) {
+	col, up, down = e.weights()
+	estC, estU, estD := e.counts(prob)
+	for i, c := range estC {
+		y += col[i] * float64(c)
+	}
+	y += up*float64(estU) + down*float64(estD)
+	return col, up, down, y
+}
+
+// estimateFill returns the estimated pay for filling a cell of column ci,
+// assuming both direct and indirect contribution (§5.3).
+func (e *Estimator) estimateFill(ci int, prob []*model.Row) float64 {
+	col, _, _, y := e.denominator(prob)
+	if y == 0 {
+		return 0
+	}
+	base := col[ci] * e.budget / y
+	if e.scheme != DualWeighted || !e.schema.IsKeyColumn(ci) {
+		return base
+	}
+	// Dual-weighted: position the next value at k = seen+1 within the
+	// column's expected |C_i| values, with z fitted to first-appearance gaps.
+	n := e.tmpl.EmptyCellsInColumn(ci)
+	if n < 2 {
+		return base
+	}
+	k := len(e.firstSeen[ci]) + 1
+	if k > n {
+		k = n
+	}
+	z := e.fitColumnZ(ci)
+	if z == 0 {
+		return base
+	}
+	mid := float64(n+1) / 2
+	return base * (1 + 2*z/float64(n-1)*(float64(k)-mid))
+}
+
+// fitColumnZ fits z from the gaps between first appearances of distinct
+// values in column ci so far.
+func (e *Estimator) fitColumnZ(ci int) float64 {
+	seen := e.firstSeen[ci]
+	if len(seen) < 2 {
+		return 0
+	}
+	times := make([]int64, 0, len(seen))
+	for _, t := range seen {
+		times = append(times, t)
+	}
+	// Sort ascending.
+	for i := 1; i < len(times); i++ {
+		for j := i; j > 0 && times[j] < times[j-1]; j-- {
+			times[j], times[j-1] = times[j-1], times[j]
+		}
+	}
+	gaps := make([]float64, len(times))
+	prev := e.start
+	for i, t := range times {
+		gaps[i] = float64(t-prev) / 1e9
+		if gaps[i] < 0 {
+			gaps[i] = 0
+		}
+		prev = t
+	}
+	return fitZ(gaps)
+}
+
+// estimateVote returns the estimated pay for an upvote or downvote.
+func (e *Estimator) estimateVote(up bool, prob []*model.Row) float64 {
+	_, wu, wd, y := e.denominator(prob)
+	if y == 0 {
+		return 0
+	}
+	if up {
+		return wu * e.budget / y
+	}
+	return wd * e.budget / y
+}
+
+// Current returns the per-action estimates to display in clients' column
+// headers (Figure 1), based on the given replica state.
+func (e *Estimator) Current(rep *sync.Replica) *sync.Estimates {
+	prob := constraint.Probable(rep.Table(), e.score)
+	out := &sync.Estimates{PerColumn: make([]float64, e.schema.NumColumns())}
+	for i := range out.PerColumn {
+		out.PerColumn[i] = e.estimateFill(i, prob)
+	}
+	out.Upvote = e.estimateVote(true, prob)
+	out.Downvote = e.estimateVote(false, prob)
+	return out
+}

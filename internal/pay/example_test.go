@@ -1,0 +1,47 @@
+package pay_test
+
+import (
+	"fmt"
+
+	"crowdfill/internal/model"
+	"crowdfill/internal/pay"
+	"crowdfill/internal/sync"
+)
+
+// ExampleCompute splits a $10 budget uniformly over the §5.2 contribution
+// classes: two cells (each worth $2.50, going wholly to their enterers, who
+// contributed both directly and as first enterers of the values), one
+// upvote, and one consistent downvote ($2.50 each). The auto-upvote earns
+// nothing.
+func ExampleCompute() {
+	schema := model.MustSchema("KV", []model.Column{
+		{Name: "k"}, {Name: "v"},
+	}, "k")
+	vec := func(vals ...string) model.Vector { return model.VectorOf(vals...) }
+	trace := []sync.Message{
+		{Type: sync.MsgReplace, Row: "e1", NewRow: "a1", Vec: vec("x", ""), Col: 0, Val: "x", Worker: "w1", TS: 10e9},
+		{Type: sync.MsgReplace, Row: "a1", NewRow: "b1", Vec: vec("x", "1"), Col: 1, Val: "1", Worker: "w2", TS: 20e9},
+		{Type: sync.MsgUpvote, Vec: vec("x", "1"), Worker: "w2", Auto: true, TS: 21e9},
+		{Type: sync.MsgUpvote, Vec: vec("x", "1"), Worker: "w3", TS: 30e9},
+		{Type: sync.MsgDownvote, Vec: vec("y", ""), Worker: "w3", TS: 40e9},
+	}
+	alloc, err := pay.Compute(pay.Input{
+		Schema: schema,
+		Budget: 10,
+		Scheme: pay.Uniform,
+		Final:  []*model.Row{{ID: "b1", Vec: vec("x", "1"), Up: 2}},
+		Trace:  trace,
+		CCLog:  []sync.Message{{Type: sync.MsgInsert, Row: "e1", Origin: "cc", TS: 1e9}},
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("w1 $%.2f\n", alloc.PerWorker["w1"])
+	fmt.Printf("w2 $%.2f\n", alloc.PerWorker["w2"])
+	fmt.Printf("w3 $%.2f\n", alloc.PerWorker["w3"])
+	// Output:
+	// w1 $2.50
+	// w2 $2.50
+	// w3 $5.00
+}

@@ -1,0 +1,232 @@
+package pay
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"crowdfill/internal/model"
+	"crowdfill/internal/sync"
+)
+
+// randomRun drives a replica with random valid worker operations, producing
+// a stamped trace and the resulting final table — realistic input for the
+// compensation properties.
+func randomRun(seed int64) (*model.Schema, []*model.Row, []sync.Message, []sync.Message, map[string]int64) {
+	rng := rand.New(rand.NewSource(seed))
+	schema := model.MustSchema("T", []model.Column{
+		{Name: "k"}, {Name: "a"}, {Name: "b"},
+	}, "k")
+	rep := sync.NewReplica(schema)
+	ccg := sync.NewIDGen("cc")
+	wg := sync.NewIDGen("w")
+
+	var ccLog, trace []sync.Message
+	ts := int64(0)
+	stamp := func(m *sync.Message) {
+		ts += int64(rng.Intn(5)+1) * 1e9
+		m.TS = ts
+	}
+	// CC seeds a few empty rows.
+	for i := 0; i < 3+rng.Intn(3); i++ {
+		m, _ := rep.Insert(ccg.Next())
+		m.Origin = "cc"
+		stamp(&m)
+		ccLog = append(ccLog, m)
+	}
+	workers := []string{"w1", "w2", "w3"}
+	join := map[string]int64{}
+	for _, w := range workers {
+		join[w] = 0
+	}
+	for step := 0; step < 60+rng.Intn(60); step++ {
+		rows := rep.Table().Rows()
+		if len(rows) == 0 {
+			break
+		}
+		r := rows[rng.Intn(len(rows))]
+		w := workers[rng.Intn(len(workers))]
+		var m sync.Message
+		var err error
+		switch rng.Intn(4) {
+		case 0, 1: // fill
+			col := -1
+			for c, cell := range r.Vec {
+				if !cell.Set {
+					col = c
+					break
+				}
+			}
+			if col < 0 {
+				continue
+			}
+			m, err = rep.Fill(r.ID, col, fmt.Sprintf("v%d", rng.Intn(4)), wg.Next())
+		case 2:
+			if !r.Vec.IsComplete() {
+				continue
+			}
+			m, err = rep.Upvote(r.ID)
+			m.Auto = rng.Intn(4) == 0
+		case 3:
+			if !r.Vec.IsPartial() {
+				continue
+			}
+			m, err = rep.Downvote(r.ID)
+		}
+		if err != nil {
+			continue
+		}
+		m.Worker = w
+		m.Origin = w
+		stamp(&m)
+		trace = append(trace, m)
+	}
+	final := model.FinalTable(rep.Table(), model.DefaultScore)
+	return schema, final, trace, ccLog, join
+}
+
+// TestComputePropertyBudgetAndConsistency checks, across random runs and all
+// three schemes: the budget is never exceeded, no message earns negative
+// pay, CC and auto-upvote messages earn nothing, and the per-worker totals
+// equal the per-message sums.
+func TestComputePropertyBudgetAndConsistency(t *testing.T) {
+	trials := 60
+	if testing.Short() {
+		trials = 10
+	}
+	for seed := int64(0); seed < int64(trials); seed++ {
+		schema, final, trace, ccLog, join := randomRun(seed)
+		for _, scheme := range []Scheme{Uniform, ColumnWeighted, DualWeighted} {
+			alloc, err := Compute(Input{
+				Schema: schema, Budget: 10, Scheme: scheme,
+				Final: final, Trace: trace, CCLog: ccLog, JoinTime: join,
+			})
+			if err != nil {
+				t.Fatalf("seed %d %v: %v", seed, scheme, err)
+			}
+			if alloc.Allocated > 10+1e-9 {
+				t.Fatalf("seed %d %v: allocated %.6f > budget", seed, scheme, alloc.Allocated)
+			}
+			var perMsgSum float64
+			for i, amt := range alloc.PerMessage {
+				if amt < -1e-12 {
+					t.Fatalf("seed %d %v: message %d has negative pay %v", seed, scheme, i, amt)
+				}
+				if trace[i].Type == sync.MsgUpvote && trace[i].Auto && amt != 0 {
+					t.Fatalf("seed %d %v: auto-upvote %d paid %v", seed, scheme, i, amt)
+				}
+				perMsgSum += amt
+			}
+			var perWorkerSum float64
+			for _, amt := range alloc.PerWorker {
+				perWorkerSum += amt
+			}
+			if diff := perMsgSum - perWorkerSum; diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("seed %d %v: per-message sum %v != per-worker sum %v",
+					seed, scheme, perMsgSum, perWorkerSum)
+			}
+			if diff := perWorkerSum - alloc.Allocated; diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("seed %d %v: allocated %v != worker sum %v",
+					seed, scheme, alloc.Allocated, perWorkerSum)
+			}
+		}
+	}
+}
+
+// TestComputePropertyCellAccounting: every cell of C has its direct
+// contributor paid the h_c share and, when an indirect contributor exists,
+// the (1−h_c) share lands somewhere too — so cell pay sums match.
+func TestComputePropertyCellAccounting(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		schema, final, trace, ccLog, join := randomRun(seed)
+		alloc, err := Compute(Input{
+			Schema: schema, Budget: 10, Scheme: Uniform,
+			Final: final, Trace: trace, CCLog: ccLog, JoinTime: join,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wantTotal float64
+		for i, c := range alloc.Contrib.Cells {
+			b := alloc.CellPay[i]
+			h := 0.5
+			if schema.IsKeyColumn(c.Cell.Col) {
+				h = 0.25
+			}
+			wantTotal += h * b
+			if c.Indirect >= 0 {
+				wantTotal += (1 - h) * b
+			}
+		}
+		wantTotal += float64(len(alloc.Contrib.Upvotes)) * alloc.UpvotePay
+		wantTotal += float64(len(alloc.Contrib.Downvotes)) * alloc.DownvotePay
+		if diff := wantTotal - alloc.Allocated; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("seed %d: cell accounting %v != allocated %v", seed, wantTotal, alloc.Allocated)
+		}
+	}
+}
+
+// TestComputePropertyUniformExhaustsWithIndirects: when every cell has an
+// indirect contributor (all values fresh), uniform allocation distributes
+// the entire budget.
+func TestComputePropertyUniformExhaustsWithIndirects(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		schema, final, trace, ccLog, join := randomRun(seed)
+		alloc, err := Compute(Input{
+			Schema: schema, Budget: 10, Scheme: Uniform,
+			Final: final, Trace: trace, CCLog: ccLog, JoinTime: join,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		allIndirect := true
+		for _, c := range alloc.Contrib.Cells {
+			if c.Indirect < 0 {
+				allIndirect = false
+				break
+			}
+		}
+		n := len(alloc.Contrib.Cells) + len(alloc.Contrib.Upvotes) + len(alloc.Contrib.Downvotes)
+		if allIndirect && n > 0 {
+			if diff := alloc.Allocated - 10; diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("seed %d: uniform with full indirects allocated %v, want 10",
+					seed, alloc.Allocated)
+			}
+		}
+	}
+}
+
+// TestComputePropertyDualTotalsMatchColumn: the dual spread redistributes
+// pay within each key column but conserves its total.
+func TestComputePropertyDualTotalsMatchColumn(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		schema, final, trace, ccLog, join := randomRun(seed)
+		in := Input{
+			Schema: schema, Budget: 10, Scheme: ColumnWeighted,
+			Final: final, Trace: trace, CCLog: ccLog, JoinTime: join,
+		}
+		colw, err := Compute(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in.Scheme = DualWeighted
+		dual, err := Compute(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sums := func(a *Allocation) map[int]float64 {
+			out := map[int]float64{}
+			for i, c := range a.Contrib.Cells {
+				out[c.Cell.Col] += a.CellPay[i]
+			}
+			return out
+		}
+		cw, dw := sums(colw), sums(dual)
+		for col, want := range cw {
+			if diff := dw[col] - want; diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("seed %d: column %d total %v under dual, %v under column-weighted",
+					seed, col, dw[col], want)
+			}
+		}
+	}
+}

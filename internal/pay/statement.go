@@ -1,0 +1,66 @@
+package pay
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"crowdfill/internal/sync"
+)
+
+// StatementLine is one paid action on a worker's pay statement.
+type StatementLine struct {
+	TraceIdx int
+	At       time.Duration // elapsed since collection start
+	Kind     string        // "fill <column>", "upvote", "downvote"
+	Amount   float64
+}
+
+// Statement itemizes one worker's compensation: every action of theirs that
+// earned a share of the budget, in trace order. schemaCols provides column
+// names for fill lines; start is the collection start timestamp.
+func (a *Allocation) Statement(worker string, trace []sync.Message, schemaCols []string, start int64) []StatementLine {
+	var out []StatementLine
+	for i, m := range trace {
+		if m.Worker != worker || a.PerMessage[i] == 0 {
+			continue
+		}
+		var kind string
+		switch m.Type {
+		case sync.MsgReplace:
+			col := fmt.Sprintf("column %d", m.Col)
+			if m.Col >= 0 && m.Col < len(schemaCols) {
+				col = schemaCols[m.Col]
+			}
+			kind = "fill " + col
+		case sync.MsgUpvote:
+			kind = "upvote"
+		case sync.MsgDownvote:
+			kind = "downvote"
+		default:
+			kind = m.Type.String()
+		}
+		out = append(out, StatementLine{
+			TraceIdx: i,
+			At:       time.Duration(m.TS - start),
+			Kind:     kind,
+			Amount:   a.PerMessage[i],
+		})
+	}
+	return out
+}
+
+// FormatStatement renders a worker's statement as aligned text — the pay
+// stub a worker could be shown alongside the final bonus payment.
+func (a *Allocation) FormatStatement(worker string, trace []sync.Message, schemaCols []string, start int64) string {
+	lines := a.Statement(worker, trace, schemaCols, start)
+	var b strings.Builder
+	fmt.Fprintf(&b, "pay statement for %s (%s allocation)\n", worker, a.Scheme)
+	var total float64
+	for _, l := range lines {
+		fmt.Fprintf(&b, "  %8s  %-18s $%.4f\n", l.At.Round(time.Second), l.Kind, l.Amount)
+		total += l.Amount
+	}
+	fmt.Fprintf(&b, "  %8s  %-18s $%.4f\n", "", "total", total)
+	return b.String()
+}

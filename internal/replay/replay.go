@@ -1,0 +1,109 @@
+// Package replay rebuilds a collection from its bookkeeping trace (paper
+// §3.3: the back-end stores a complete trace of worker actions). Because the
+// trace carries every primitive operation in server-processing order,
+// replaying it through a fresh replica reproduces the candidate table, the
+// final table, and — under any allocation scheme — the exact compensation.
+// That makes the trace an audit artifact: "why did worker X earn $Y" is
+// answerable offline, without the live system.
+package replay
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"crowdfill/internal/model"
+	"crowdfill/internal/pay"
+	"crowdfill/internal/sync"
+)
+
+// Rebuild replays the interleaved CC log and worker trace (ordered by the
+// server-assigned timestamps) into a fresh replica.
+func Rebuild(schema *model.Schema, trace, ccLog []sync.Message) (*sync.Replica, error) {
+	if schema == nil {
+		return nil, errors.New("replay: schema required")
+	}
+	msgs := make([]sync.Message, 0, len(trace)+len(ccLog))
+	msgs = append(msgs, trace...)
+	msgs = append(msgs, ccLog...)
+	sort.SliceStable(msgs, func(i, j int) bool { return msgs[i].TS < msgs[j].TS })
+	rep := sync.NewReplica(schema)
+	for i, m := range msgs {
+		switch m.Type {
+		case sync.MsgInsert, sync.MsgReplace, sync.MsgUpvote, sync.MsgDownvote,
+			sync.MsgUnupvote, sync.MsgUndownvote:
+			if err := rep.Apply(m); err != nil {
+				return nil, fmt.Errorf("replay: message %d (%v at ts %d): %w", i, m.Type, m.TS, err)
+			}
+		default:
+			return nil, fmt.Errorf("replay: unexpected %v message in trace", m.Type)
+		}
+	}
+	return rep, nil
+}
+
+// Audit is the outcome of replaying and re-deriving a collection.
+type Audit struct {
+	// Replica is the rebuilt end-of-run state.
+	Replica *sync.Replica
+	// Final is the re-derived final table.
+	Final []*model.Row
+	// Alloc is the recomputed compensation.
+	Alloc *pay.Allocation
+	// Messages counts replayed messages (worker + CC).
+	Messages int
+}
+
+// Input configures an audit.
+type Input struct {
+	Schema *model.Schema
+	Score  model.ScoreFunc
+	Budget float64
+	Scheme pay.Scheme
+	Trace  []sync.Message
+	CCLog  []sync.Message
+	// JoinTime optionally carries worker join times; absent entries fall
+	// back to the collection start (the first message's timestamp).
+	JoinTime map[string]int64
+}
+
+// Run replays the trace, re-derives the final table, checks the Lemma 3
+// invariants on the rebuilt replica, and recomputes compensation.
+func Run(in Input) (*Audit, error) {
+	if in.Score == nil {
+		in.Score = model.DefaultScore
+	}
+	rep, err := Rebuild(in.Schema, in.Trace, in.CCLog)
+	if err != nil {
+		return nil, err
+	}
+	if err := rep.CheckLemma3(); err != nil {
+		return nil, fmt.Errorf("replay: rebuilt replica inconsistent: %w", err)
+	}
+	final := model.FinalTable(rep.Table(), in.Score)
+	start := int64(0)
+	if len(in.CCLog) > 0 {
+		start = in.CCLog[0].TS
+	} else if len(in.Trace) > 0 {
+		start = in.Trace[0].TS
+	}
+	alloc, err := pay.Compute(pay.Input{
+		Schema:   in.Schema,
+		Budget:   in.Budget,
+		Scheme:   in.Scheme,
+		Final:    final,
+		Trace:    in.Trace,
+		CCLog:    in.CCLog,
+		JoinTime: in.JoinTime,
+		Start:    start,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Audit{
+		Replica:  rep,
+		Final:    final,
+		Alloc:    alloc,
+		Messages: len(in.Trace) + len(in.CCLog),
+	}, nil
+}

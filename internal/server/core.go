@@ -1,0 +1,363 @@
+// Package server implements CrowdFill's back-end server (paper §3.3): the
+// master copy of the candidate table, the broadcast hub that forwards each
+// incoming message to every other client, the Central Client that maintains
+// the Probable Rows Invariant, the worker-action trace kept for
+// compensation, the online compensation estimator, and completion detection.
+//
+// Core is a synchronous state machine so the same logic drives both the
+// deterministic simulation harness (virtual clock, direct calls) and the
+// live WebSocket server (goroutines + mutex around Core).
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"crowdfill/internal/constraint"
+	"crowdfill/internal/model"
+	"crowdfill/internal/pay"
+	"crowdfill/internal/simclock"
+	"crowdfill/internal/sync"
+)
+
+// Config configures a data-collection run.
+type Config struct {
+	// Schema is the table being collected.
+	Schema *model.Schema
+	// Score aggregates votes; nil means the default u−d.
+	Score model.ScoreFunc
+	// Template is the constraint to satisfy (cardinality / values /
+	// predicates, already unified).
+	Template constraint.Template
+	// Budget is the total monetary budget B.
+	Budget float64
+	// Scheme is the allocation scheme for compensation.
+	Scheme pay.Scheme
+	// MaxVotesPerRow is advertised to clients (0 = unlimited).
+	MaxVotesPerRow int
+	// Clock provides timestamps; nil means the real clock.
+	Clock simclock.Clock
+	// SplitKey/SplitNonKey/SplitByColumn are the §5.2.3 splitting factors.
+	SplitKey, SplitNonKey float64
+	SplitByColumn         map[int]float64
+	// TrackPerformance enables per-worker performance scaling of the
+	// displayed estimates (§5.3's noted refinement).
+	TrackPerformance bool
+}
+
+// Outbound is a message the caller must deliver to a client.
+type Outbound struct {
+	To  string // client id
+	Msg sync.Message
+}
+
+// Core is the back-end server state machine. It is NOT safe for concurrent
+// use; network frontends must serialize calls.
+type Core struct {
+	cfg     Config
+	score   model.ScoreFunc
+	master  *sync.Replica
+	planner *constraint.Planner
+	ccGen   *sync.IDGen
+	est     *pay.Estimator
+
+	clients  map[string]string // client id -> worker id
+	joinTime map[string]int64  // worker -> first join timestamp
+
+	trace []sync.Message // stamped worker messages (the set M)
+	ccLog []sync.Message // stamped Central Client messages
+
+	start  int64
+	lastTS int64
+	done   bool
+}
+
+// New builds a Core, seeds the candidate table from the template via the
+// Central Client, and checks whether the constraint is (trivially) already
+// satisfied.
+func New(cfg Config) (*Core, error) {
+	if cfg.Schema == nil {
+		return nil, errors.New("server: config needs a schema")
+	}
+	if err := cfg.Schema.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Template.Schema == nil {
+		return nil, errors.New("server: config needs a constraint template")
+	}
+	if err := cfg.Template.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = simclock.Real{}
+	}
+	score := cfg.Score
+	if score == nil {
+		score = model.DefaultScore
+	}
+	if err := model.ValidateScore(score, 8); err != nil {
+		return nil, err
+	}
+	c := &Core{
+		cfg:      cfg,
+		score:    score,
+		master:   sync.NewReplica(cfg.Schema),
+		planner:  constraint.NewPlanner(cfg.Template, score),
+		ccGen:    sync.NewIDGen("cc"),
+		clients:  make(map[string]string),
+		joinTime: make(map[string]int64),
+	}
+	c.start = cfg.Clock.Now()
+	c.lastTS = c.start
+	c.est = pay.NewEstimator(cfg.Schema, score, cfg.Scheme, cfg.Budget, cfg.Template, c.start)
+	c.est.TrackPerformance(cfg.TrackPerformance)
+
+	// §4.2 initialization: populate the table with the template rows,
+	// upvoting complete ones, then repair until stable.
+	for _, a := range c.planner.InitActions() {
+		c.execAction(a)
+	}
+	c.runCC()
+	c.checkDone()
+	return c, nil
+}
+
+// stamp returns a fresh unique timestamp (monotone even if the clock stalls).
+func (c *Core) stamp() int64 {
+	now := c.cfg.Clock.Now()
+	if now <= c.lastTS {
+		now = c.lastTS + 1
+	}
+	c.lastTS = now
+	return now
+}
+
+// execAction performs one Central Client action against the master replica,
+// appending the generated messages to the CC log.
+func (c *Core) execAction(a constraint.Action) {
+	if a.Kind != constraint.ActionInsert {
+		return
+	}
+	record := func(m sync.Message) {
+		m.Origin = "cc"
+		m.TS = c.stamp()
+		c.ccLog = append(c.ccLog, m)
+	}
+	ins, err := c.master.Insert(c.ccGen.Next())
+	if err != nil {
+		panic(fmt.Sprintf("server: cc insert: %v", err))
+	}
+	record(ins)
+	cur := ins.Row
+	for col, cell := range a.Seed {
+		if !cell.Set {
+			continue
+		}
+		m, ferr := c.master.Fill(cur, col, cell.Val, c.ccGen.Next())
+		if ferr != nil {
+			panic(fmt.Sprintf("server: cc seed fill: %v", ferr))
+		}
+		record(m)
+		cur = m.NewRow
+	}
+	if a.Upvote {
+		m, uerr := c.master.Upvote(cur)
+		if uerr != nil {
+			panic(fmt.Sprintf("server: cc upvote: %v", uerr))
+		}
+		m.Auto = true
+		record(m)
+	}
+}
+
+// runCC repairs the PRI until stable, returning the CC messages generated.
+func (c *Core) runCC() []sync.Message {
+	before := len(c.ccLog)
+	for iter := 0; iter < 1000; iter++ {
+		actions := c.planner.Repair(c.master)
+		if len(actions) == 0 {
+			break
+		}
+		for _, a := range actions {
+			c.execAction(a)
+		}
+	}
+	return c.ccLog[before:]
+}
+
+// checkDone evaluates the completion condition: the final table derived from
+// the master copy satisfies the (active) constraint template.
+func (c *Core) checkDone() {
+	if c.done {
+		return
+	}
+	final := model.FinalTable(c.master.Table(), c.score)
+	if c.planner.Template().SatisfiedBy(final) {
+		c.done = true
+	}
+}
+
+// AddClient registers a client connection for a worker and returns the
+// messages to send it: a full state snapshot plus the current estimates.
+func (c *Core) AddClient(clientID, workerID string) []Outbound {
+	c.clients[clientID] = workerID
+	now := c.stamp()
+	if _, ok := c.joinTime[workerID]; !ok {
+		c.joinTime[workerID] = now
+	}
+	c.est.Join(workerID, now)
+	out := []Outbound{
+		{To: clientID, Msg: sync.Message{Type: sync.MsgSnapshot, Snapshot: c.master.TakeSnapshot()}},
+		{To: clientID, Msg: sync.Message{Type: sync.MsgEstimate, Estimates: c.est.Current(c.master)}},
+	}
+	if c.done {
+		out = append(out, Outbound{To: clientID, Msg: sync.Message{Type: sync.MsgDone}})
+	}
+	return out
+}
+
+// RemoveClient unregisters a client connection.
+func (c *Core) RemoveClient(clientID string) { delete(c.clients, clientID) }
+
+// Handle processes one message from a client: it stamps it, applies it to
+// the master table, records it in the trace, lets the Central Client repair
+// the PRI, recomputes estimates, checks completion, and returns everything
+// to deliver (the message to all other clients, CC messages and updated
+// estimates to everyone, and MsgDone when collection finishes).
+func (c *Core) Handle(clientID string, m sync.Message) ([]Outbound, error) {
+	if c.done {
+		return nil, nil // late messages after completion are dropped
+	}
+	worker, ok := c.clients[clientID]
+	if !ok {
+		return nil, fmt.Errorf("server: unknown client %q", clientID)
+	}
+	switch m.Type {
+	case sync.MsgReplace, sync.MsgUpvote, sync.MsgDownvote, sync.MsgInsert,
+		sync.MsgUnupvote, sync.MsgUndownvote:
+	default:
+		return nil, fmt.Errorf("server: clients may not send %v messages", m.Type)
+	}
+	m.Origin = clientID
+	m.Worker = worker
+	m.TS = c.stamp()
+
+	if err := c.master.Apply(m); err != nil {
+		return nil, err
+	}
+	c.trace = append(c.trace, m)
+	// The estimate shown for this action; observed post-apply (the worker
+	// computed theirs against an equally slightly-stale local view).
+	c.est.Observe(m, c.master)
+
+	ccMsgs := c.runCC()
+	c.checkDone()
+
+	// Broadcast in sorted client order so delivery scheduling (and anything
+	// else consuming the outbound list) is deterministic.
+	ids := c.sortedClientIDs()
+	var out []Outbound
+	for _, id := range ids {
+		if id != clientID {
+			out = append(out, Outbound{To: id, Msg: m})
+		}
+	}
+	for _, cm := range ccMsgs {
+		for _, id := range ids {
+			out = append(out, Outbound{To: id, Msg: cm})
+		}
+	}
+	estMsg := sync.Message{Type: sync.MsgEstimate, Estimates: c.est.Current(c.master)}
+	for _, id := range ids {
+		out = append(out, Outbound{To: id, Msg: estMsg})
+	}
+	if c.done {
+		for _, id := range ids {
+			out = append(out, Outbound{To: id, Msg: sync.Message{Type: sync.MsgDone}})
+		}
+	}
+	return out, nil
+}
+
+// sortedClientIDs returns the connected client ids in stable order.
+func (c *Core) sortedClientIDs() []string {
+	ids := make([]string, 0, len(c.clients))
+	for id := range c.clients {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Done reports whether enough data has been collected.
+func (c *Core) Done() bool { return c.done }
+
+// Master exposes the master replica (read-only for callers).
+func (c *Core) Master() *sync.Replica { return c.master }
+
+// FinalTable derives the final table from the master copy.
+func (c *Core) FinalTable() []*model.Row {
+	return model.FinalTable(c.master.Table(), c.score)
+}
+
+// Satisfied reports whether the final table satisfies the active constraint.
+func (c *Core) Satisfied() bool {
+	return c.planner.Template().SatisfiedBy(c.FinalTable())
+}
+
+// Trace returns the stamped worker-message trace (the set M of §5.2).
+func (c *Core) Trace() []sync.Message { return c.trace }
+
+// CCLog returns the Central Client's stamped messages.
+func (c *Core) CCLog() []sync.Message { return c.ccLog }
+
+// JoinTimes returns each worker's first-join timestamp.
+func (c *Core) JoinTimes() map[string]int64 { return c.joinTime }
+
+// StartTime returns the collection start timestamp.
+func (c *Core) StartTime() int64 { return c.start }
+
+// Estimator exposes the online estimator (for experiment reports).
+func (c *Core) Estimator() *pay.Estimator { return c.est }
+
+// Planner exposes the Central Client's planner (for stats and PRI checks).
+func (c *Core) Planner() *constraint.Planner { return c.planner }
+
+// Clients returns the number of connected clients.
+func (c *Core) Clients() int { return len(c.clients) }
+
+// ComputePay runs the §5.2 final-compensation calculation over the run.
+func (c *Core) ComputePay() (*pay.Allocation, error) {
+	return pay.Compute(pay.Input{
+		Schema:        c.cfg.Schema,
+		Budget:        c.cfg.Budget,
+		Scheme:        c.cfg.Scheme,
+		Final:         c.FinalTable(),
+		Trace:         c.trace,
+		CCLog:         c.ccLog,
+		JoinTime:      c.joinTime,
+		Start:         c.start,
+		SplitKey:      c.cfg.SplitKey,
+		SplitNonKey:   c.cfg.SplitNonKey,
+		SplitByColumn: c.cfg.SplitByColumn,
+	})
+}
+
+// ComputePayWith recomputes compensation under a different scheme over the
+// same trace (used by the §6 scheme-comparison experiments).
+func (c *Core) ComputePayWith(scheme pay.Scheme) (*pay.Allocation, error) {
+	return pay.Compute(pay.Input{
+		Schema:        c.cfg.Schema,
+		Budget:        c.cfg.Budget,
+		Scheme:        scheme,
+		Final:         c.FinalTable(),
+		Trace:         c.trace,
+		CCLog:         c.ccLog,
+		JoinTime:      c.joinTime,
+		Start:         c.start,
+		SplitKey:      c.cfg.SplitKey,
+		SplitNonKey:   c.cfg.SplitNonKey,
+		SplitByColumn: c.cfg.SplitByColumn,
+	})
+}

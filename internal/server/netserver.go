@@ -1,0 +1,150 @@
+package server
+
+import (
+	"fmt"
+	"log"
+	"net/http"
+	gosync "sync"
+	"sync/atomic"
+
+	"crowdfill/internal/sync"
+	"crowdfill/internal/transport"
+	"crowdfill/internal/wsock"
+)
+
+// NetServer exposes a Core over WebSocket connections: the live back-end
+// server (§3.3). Workers connect with ?worker=<id>; each connection becomes
+// one client of the formal model, with its own reliable in-order link.
+type NetServer struct {
+	mu     gosync.Mutex
+	core   *Core
+	conns  map[string]chan sync.Message
+	nextID int64
+	logf   func(format string, args ...any)
+}
+
+// NewNetServer wraps a Core for network serving. logf may be nil to discard
+// logs.
+func NewNetServer(core *Core, logf func(string, ...any)) *NetServer {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &NetServer{core: core, conns: make(map[string]chan sync.Message), logf: logf}
+}
+
+// Handler returns the HTTP handler performing WebSocket upgrades. The worker
+// identity comes from the "worker" query parameter.
+func (s *NetServer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		worker := r.URL.Query().Get("worker")
+		if worker == "" {
+			http.Error(w, "missing worker parameter", http.StatusBadRequest)
+			return
+		}
+		ws, err := wsock.Upgrade(w, r)
+		if err != nil {
+			return // Upgrade already wrote the HTTP error
+		}
+		go s.serve(transport.WrapWS(ws), worker)
+	})
+}
+
+// ServeConn runs one client connection to completion (blocking). Exposed so
+// tests and simulations can drive the server over in-process pipes.
+func (s *NetServer) ServeConn(conn transport.Conn, worker string) {
+	s.serve(conn, worker)
+}
+
+func (s *NetServer) serve(conn transport.Conn, worker string) {
+	clientID := fmt.Sprintf("net-%05d", atomic.AddInt64(&s.nextID, 1))
+	outc := make(chan sync.Message, 4096)
+
+	s.mu.Lock()
+	s.conns[clientID] = outc
+	outbound := s.core.AddClient(clientID, worker)
+	s.mu.Unlock()
+
+	// Writer goroutine: drains this client's outbound queue.
+	var wg gosync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for m := range outc {
+			if err := conn.Send(m); err != nil {
+				s.logf("crowdfill: send to %s: %v", clientID, err)
+				return
+			}
+		}
+	}()
+	s.route(outbound)
+
+	for {
+		m, err := conn.Recv()
+		if err != nil {
+			break
+		}
+		s.mu.Lock()
+		out, herr := s.core.Handle(clientID, m)
+		s.mu.Unlock()
+		if herr != nil {
+			s.logf("crowdfill: client %s message rejected: %v", clientID, herr)
+			continue
+		}
+		s.route(out)
+	}
+
+	s.mu.Lock()
+	s.core.RemoveClient(clientID)
+	delete(s.conns, clientID)
+	s.mu.Unlock()
+	close(outc)
+	wg.Wait()
+	conn.Close()
+}
+
+// route delivers outbound messages to the per-connection queues. A client
+// that cannot keep up (full queue) is disconnected rather than allowed to
+// stall everyone (the model requires per-link FIFO, not global blocking).
+func (s *NetServer) route(out []Outbound) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, o := range out {
+		ch, ok := s.conns[o.To]
+		if !ok {
+			continue
+		}
+		select {
+		case ch <- o.Msg:
+		default:
+			s.logf("crowdfill: client %s queue overflow, dropping connection", o.To)
+			delete(s.conns, o.To)
+			s.core.RemoveClient(o.To)
+			close(ch)
+		}
+	}
+}
+
+// Done reports whether the collection finished (thread-safe).
+func (s *NetServer) Done() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.core.Done()
+}
+
+// Core returns the wrapped core; callers must not touch it while the server
+// is live except via WithCore.
+func (s *NetServer) Core() *Core { return s.core }
+
+// WithCore runs fn with the core under the server lock.
+func (s *NetServer) WithCore(fn func(*Core)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fn(s.core)
+}
+
+// ListenAndServe serves the WebSocket endpoint on addr until the listener
+// fails. Intended for cmd/crowdfill-server.
+func (s *NetServer) ListenAndServe(addr string) error {
+	srv := &http.Server{Addr: addr, Handler: s.Handler(), ErrorLog: log.Default()}
+	return srv.ListenAndServe()
+}

@@ -1,0 +1,237 @@
+package server
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	gosync "sync"
+	"testing"
+	"time"
+
+	"crowdfill/internal/client"
+	"crowdfill/internal/constraint"
+	"crowdfill/internal/model"
+	"crowdfill/internal/pay"
+	"crowdfill/internal/sync"
+	"crowdfill/internal/transport"
+	"crowdfill/internal/wsock"
+)
+
+// netWorker is a minimal live worker: it fills assigned keys and upvotes
+// everything it believes correct, over a real WebSocket.
+func netWorker(t *testing.T, url, worker string, schema *model.Schema, keys []string, wg *gosync.WaitGroup) {
+	defer wg.Done()
+	ws, err := wsock.Dial(url + "?worker=" + worker)
+	if err != nil {
+		t.Errorf("%s dial: %v", worker, err)
+		return
+	}
+	c, err := client.New(client.Config{ID: worker, Worker: worker, Schema: schema})
+	if err != nil {
+		t.Errorf("%s: %v", worker, err)
+		return
+	}
+	r := client.NewRunner(c, transport.WrapWS(ws))
+	defer r.Close()
+
+	deadline := time.After(20 * time.Second)
+	for !r.Done() {
+		select {
+		case <-deadline:
+			t.Errorf("%s: run did not finish", worker)
+			return
+		case <-time.After(2 * time.Millisecond):
+		}
+		err := r.Do(func(c *client.Client) ([]sync.Message, error) {
+			// Vote on any complete row not yet voted on.
+			for _, row := range c.Rows(nil) {
+				if row.Vec.IsComplete() && !c.VotedOn(row.Vec) {
+					m, err := c.Upvote(row.ID)
+					if err != nil {
+						continue // e.g. key already upvoted
+					}
+					return []sync.Message{m}, nil
+				}
+			}
+			// Otherwise fill: keys first, then values.
+			if len(keys) > 0 {
+				for _, row := range c.Rows(nil) {
+					if row.Vec.IsEmpty() {
+						msgs, err := c.Fill(row.ID, 0, keys[0])
+						if err == nil {
+							keys = keys[1:]
+							return msgs, nil
+						}
+					}
+				}
+			}
+			for _, row := range c.Rows(nil) {
+				if row.Vec[0].Set && !row.Vec[1].Set {
+					msgs, err := c.Fill(row.ID, 1, "val-"+row.Vec[0].Val)
+					if err == nil {
+						return msgs, nil
+					}
+				}
+			}
+			return nil, nil
+		})
+		if err != nil && !strings.Contains(err.Error(), "closed") {
+			// Errors after Done are expected when the server shuts down.
+			if !r.Done() {
+				t.Logf("%s action error: %v", worker, err)
+			}
+			return
+		}
+	}
+}
+
+// TestNetworkCollection runs a full collection over real WebSockets: three
+// workers, cardinality 4, majority-of-3 scoring.
+func TestNetworkCollection(t *testing.T) {
+	s := kvSchema(t)
+	core, err := New(Config{
+		Schema:   s,
+		Score:    model.MajorityShortcut(3),
+		Template: constraint.Cardinality(s, 4),
+		Budget:   10,
+		Scheme:   pay.DualWeighted,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns := NewNetServer(core, t.Logf)
+	hsrv := httptest.NewServer(ns.Handler())
+	defer hsrv.Close()
+	url := "ws" + strings.TrimPrefix(hsrv.URL, "http")
+
+	var wg gosync.WaitGroup
+	wg.Add(3)
+	go netWorker(t, url, "w1", s, []string{"alpha", "bravo"}, &wg)
+	go netWorker(t, url, "w2", s, []string{"charlie", "delta"}, &wg)
+	go netWorker(t, url, "w3", s, nil, &wg)
+	wg.Wait()
+
+	if !ns.Done() {
+		t.Fatalf("collection did not finish")
+	}
+	ns.WithCore(func(c *Core) {
+		final := c.FinalTable()
+		if len(final) < 4 {
+			t.Fatalf("final rows = %d, want >= 4", len(final))
+		}
+		if !c.Satisfied() {
+			t.Fatalf("constraint unsatisfied")
+		}
+		alloc, err := c.ComputePay()
+		if err != nil {
+			t.Fatalf("ComputePay: %v", err)
+		}
+		if alloc.Allocated <= 0 || alloc.Allocated > 10+1e-9 {
+			t.Fatalf("allocated = %v", alloc.Allocated)
+		}
+		// Workers who filled data must earn something.
+		if alloc.PerWorker["w1"] <= 0 || alloc.PerWorker["w2"] <= 0 {
+			t.Fatalf("fillers unpaid: %+v", alloc.PerWorker)
+		}
+	})
+}
+
+// TestNetServerOverPipes runs the same flow over in-process pipes (no TCP),
+// validating ServeConn and the snapshot path for late joiners.
+func TestNetServerOverPipes(t *testing.T) {
+	s := kvSchema(t)
+	core, err := New(Config{
+		Schema:   s,
+		Template: constraint.Cardinality(s, 1),
+		Score:    model.MajorityShortcut(3),
+		Budget:   1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns := NewNetServer(core, nil)
+
+	serverSide, clientSide := transport.Pipe(64)
+	go ns.ServeConn(serverSide, "w1")
+
+	c, err := client.New(client.Config{ID: "w1", Worker: "w1", Schema: s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := client.NewRunner(c, clientSide)
+	defer r.Close()
+
+	// Wait for the snapshot to land.
+	waitFor(t, func() bool {
+		ok := false
+		r.View(func(c *client.Client) { ok = len(c.Rows(nil)) == 1 })
+		return ok
+	})
+
+	// One worker completes the row; a second joins late and upvotes.
+	if err := r.Do(func(c *client.Client) ([]sync.Message, error) {
+		return c.Fill(c.Rows(nil)[0].ID, 0, "x")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Do(func(c *client.Client) ([]sync.Message, error) {
+		for _, row := range c.Rows(nil) {
+			if row.Vec[0].Set && !row.Vec[1].Set {
+				return c.Fill(row.ID, 1, "1")
+			}
+		}
+		return nil, fmt.Errorf("row not found")
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	srv2, cli2 := transport.Pipe(64)
+	go ns.ServeConn(srv2, "w2")
+	c2, err := client.New(client.Config{ID: "w2", Worker: "w2", Schema: s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := client.NewRunner(c2, cli2)
+	defer r2.Close()
+	waitFor(t, func() bool {
+		ok := false
+		r2.View(func(c *client.Client) {
+			for _, row := range c.Rows(nil) {
+				if row.Vec.IsComplete() {
+					ok = true
+				}
+			}
+		})
+		return ok
+	})
+	if err := r2.Do(func(c *client.Client) ([]sync.Message, error) {
+		for _, row := range c.Rows(nil) {
+			if row.Vec.IsComplete() {
+				m, err := c.Upvote(row.ID)
+				if err != nil {
+					return nil, err
+				}
+				return []sync.Message{m}, nil
+			}
+		}
+		return nil, fmt.Errorf("no complete row")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return r.Done() && r2.Done() })
+	if !ns.Done() {
+		t.Fatalf("server not done")
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("condition not reached in time")
+}

@@ -1,0 +1,213 @@
+package spec
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"crowdfill/internal/model"
+	"crowdfill/internal/pay"
+)
+
+func soccerSpec() TableSpec {
+	return TableSpec{
+		Name: "SoccerPlayer",
+		Columns: []ColumnSpec{
+			{Name: "name"},
+			{Name: "nationality"},
+			{Name: "position", Domain: []string{"GK", "DF", "MF", "FW"}},
+			{Name: "caps", Type: "int"},
+			{Name: "goals", Type: "int"},
+		},
+		Key:         []string{"name", "nationality"},
+		Scoring:     ScoringSpec{Kind: "majority", K: 3},
+		Template:    [][]string{{"", "", "=FW", "", ""}, {"", "Brazil", "", "", ""}},
+		Cardinality: 5,
+		Budget:      10,
+		Scheme:      "dual-weighted",
+	}
+}
+
+func TestBuildFullSpec(t *testing.T) {
+	cfg, err := soccerSpec().Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if cfg.Schema.NumColumns() != 5 || len(cfg.Schema.KeyColumns()) != 2 {
+		t.Fatalf("schema wrong: %+v", cfg.Schema)
+	}
+	if got := cfg.Score(1, 0); got != 0 {
+		t.Fatalf("majority scoring not applied: f(1,0)=%d", got)
+	}
+	if got := cfg.Score(2, 0); got != 2 {
+		t.Fatalf("majority scoring not applied: f(2,0)=%d", got)
+	}
+	if len(cfg.Template.Rows) != 5 {
+		t.Fatalf("cardinality padding: %d rows", len(cfg.Template.Rows))
+	}
+	if cfg.Scheme != pay.DualWeighted {
+		t.Fatalf("scheme = %v", cfg.Scheme)
+	}
+	if cfg.Budget != 10 {
+		t.Fatalf("budget = %v", cfg.Budget)
+	}
+}
+
+func TestBareValueIsEquality(t *testing.T) {
+	ts := soccerSpec()
+	cfg, err := ts.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Template row 1 used bare "Brazil": must behave as =Brazil.
+	tr := cfg.Template.Rows[1]
+	if !cfg.Template.MatchFinal(tr, model.VectorOf("Pele", "Brazil", "FW", "92", "77")) {
+		t.Fatalf("bare value should match equal cell")
+	}
+	if cfg.Template.MatchFinal(tr, model.VectorOf("Xavi", "Spain", "MF", "133", "13")) {
+		t.Fatalf("bare value should not match different cell")
+	}
+}
+
+func TestPredicateTemplate(t *testing.T) {
+	ts := soccerSpec()
+	ts.Template = [][]string{{"", "", "=FW", "", ">=30"}}
+	ts.Cardinality = 0
+	cfg, err := ts.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	tr := cfg.Template.Rows[0]
+	if !cfg.Template.MatchFinal(tr, model.VectorOf("Neymar", "Brazil", "FW", "83", "60")) {
+		t.Fatalf(">=30 goals forward should match")
+	}
+	if cfg.Template.MatchFinal(tr, model.VectorOf("Iker", "Spain", "FW", "83", "10")) {
+		t.Fatalf("10 goals should not match")
+	}
+}
+
+func TestSpecDefaults(t *testing.T) {
+	ts := TableSpec{
+		Name:        "T",
+		Columns:     []ColumnSpec{{Name: "a"}, {Name: "b"}},
+		Cardinality: 2,
+		Budget:      1,
+	}
+	cfg, err := ts.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if got := cfg.Score(1, 0); got != 1 {
+		t.Fatalf("default scoring should be u-d")
+	}
+	if cfg.Scheme != pay.Uniform {
+		t.Fatalf("default scheme = %v", cfg.Scheme)
+	}
+	// Default column type is string.
+	if cfg.Schema.Columns[0].Type != model.TypeString {
+		t.Fatalf("default type = %v", cfg.Schema.Columns[0].Type)
+	}
+}
+
+func TestSpecErrors(t *testing.T) {
+	base := soccerSpec()
+
+	noName := base
+	noName.Name = ""
+	if _, err := noName.Build(); err == nil {
+		t.Errorf("missing name should fail")
+	}
+
+	badType := base
+	badType.Columns = append([]ColumnSpec(nil), base.Columns...)
+	badType.Columns[0].Type = "blob"
+	if _, err := badType.Build(); err == nil {
+		t.Errorf("bad type should fail")
+	}
+
+	badKey := base
+	badKey.Key = []string{"ghost"}
+	if _, err := badKey.Build(); err == nil {
+		t.Errorf("bad key should fail")
+	}
+
+	badScore := base
+	badScore.Scoring = ScoringSpec{Kind: "weird"}
+	if _, err := badScore.Build(); err == nil {
+		t.Errorf("bad scoring should fail")
+	}
+	negK := base
+	negK.Scoring = ScoringSpec{Kind: "majority", K: -2}
+	if _, err := negK.Build(); err == nil {
+		t.Errorf("negative K should fail")
+	}
+
+	badTemplate := base
+	badTemplate.Template = [][]string{{"only-one-cell"}}
+	if _, err := badTemplate.Build(); err == nil {
+		t.Errorf("short template row should fail")
+	}
+
+	badPred := base
+	badPred.Template = [][]string{{"", "", ">=", "", ""}}
+	if _, err := badPred.Build(); err == nil {
+		t.Errorf("operandless predicate should fail")
+	}
+
+	noConstraint := base
+	noConstraint.Template = nil
+	noConstraint.Cardinality = 0
+	if _, err := noConstraint.Build(); err == nil {
+		t.Errorf("no template and no cardinality should fail")
+	}
+
+	negBudget := base
+	negBudget.Budget = -5
+	if _, err := negBudget.Build(); err == nil {
+		t.Errorf("negative budget should fail")
+	}
+
+	badScheme := base
+	badScheme.Scheme = "lottery"
+	if _, err := badScheme.Build(); err == nil {
+		t.Errorf("bad scheme should fail")
+	}
+}
+
+func TestSpecJSONRoundTrip(t *testing.T) {
+	data, err := json.Marshal(soccerSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ts TableSpec
+	if err := json.Unmarshal(data, &ts); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ts.Build(); err != nil {
+		t.Fatalf("round-tripped spec fails to build: %v", err)
+	}
+	if ts.Name != "SoccerPlayer" || len(ts.Template) != 2 {
+		t.Fatalf("round trip lost fields: %+v", ts)
+	}
+}
+
+// TestShippedSampleSpec keeps examples/specs/soccer.json buildable — it is
+// the spec the README's live-session walkthrough uses.
+func TestShippedSampleSpec(t *testing.T) {
+	data, err := os.ReadFile("../../examples/specs/soccer.json")
+	if err != nil {
+		t.Fatalf("sample spec missing: %v", err)
+	}
+	var ts TableSpec
+	if err := json.Unmarshal(data, &ts); err != nil {
+		t.Fatalf("sample spec unparsable: %v", err)
+	}
+	cfg, err := ts.Build()
+	if err != nil {
+		t.Fatalf("sample spec unbuildable: %v", err)
+	}
+	if cfg.Schema.Name != "SoccerPlayer" || len(cfg.Template.Rows) != 20 {
+		t.Fatalf("sample spec content wrong: %s, %d template rows",
+			cfg.Schema.Name, len(cfg.Template.Rows))
+	}
+}

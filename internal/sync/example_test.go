@@ -1,0 +1,47 @@
+package sync_test
+
+import (
+	"fmt"
+
+	"crowdfill/internal/model"
+	"crowdfill/internal/sync"
+)
+
+// Example reproduces the paper's §2.4.1 concurrency walkthrough: two clients
+// fill different columns of the same row; once both replace messages
+// propagate, every replica holds two rows — one per intent — rather than a
+// merged row neither client meant.
+func Example() {
+	schema := model.MustSchema("SoccerPlayer", []model.Column{
+		{Name: "name"}, {Name: "nationality"}, {Name: "position"},
+	}, "name", "nationality")
+	server := sync.NewReplica(schema)
+	c1 := sync.NewReplica(schema)
+	c2 := sync.NewReplica(schema)
+
+	// The Central Client seeds a row holding position=FW.
+	seed, _ := server.Insert("cc-1")
+	fill, _ := server.Fill("cc-1", 2, "FW", "cc-2")
+	for _, rep := range []*sync.Replica{c1, c2} {
+		rep.Apply(seed)
+		rep.Apply(fill)
+	}
+
+	// Concurrently: client 1 fills the name, client 2 the nationality.
+	f1, _ := c1.Fill("cc-2", 0, "Lionel Messi", "c1-1")
+	f2, _ := c2.Fill("cc-2", 1, "Brazil", "c2-1")
+	server.Apply(f1)
+	server.Apply(f2)
+	c1.Apply(f2)
+	c2.Apply(f1)
+
+	fmt.Println("replicas equal:", server.SnapshotText() == c1.SnapshotText() &&
+		c1.SnapshotText() == c2.SnapshotText())
+	for _, r := range server.Table().Rows() {
+		fmt.Println(r.Vec)
+	}
+	// Output:
+	// replicas equal: true
+	// (Lionel Messi, ·, FW)
+	// (·, Brazil, FW)
+}

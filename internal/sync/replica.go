@@ -1,0 +1,313 @@
+package sync
+
+import (
+	"errors"
+	"fmt"
+
+	"crowdfill/internal/model"
+)
+
+// Replica is one copy of the candidate table plus its vote histories — the
+// server's master copy and every client copy are Replicas. Local primitive
+// operations (paper §2.2) are performed through the Insert/Fill/Upvote/
+// Downvote methods, which mutate the replica and return the message to send;
+// messages received from elsewhere are applied with Apply. Both paths run
+// the identical state transition, which the convergence proof relies on.
+type Replica struct {
+	schema *model.Schema
+	table  *model.Candidate
+	uh     *VoteHist
+	dh     *VoteHist
+}
+
+// NewReplica returns an empty replica over schema s.
+func NewReplica(s *model.Schema) *Replica {
+	return &Replica{
+		schema: s,
+		table:  model.NewCandidate(s),
+		uh:     NewVoteHist(),
+		dh:     NewVoteHist(),
+	}
+}
+
+// Schema returns the replica's schema.
+func (r *Replica) Schema() *model.Schema { return r.schema }
+
+// Table returns the replica's candidate table. Callers must treat it as
+// read-only; all mutation goes through operations and Apply.
+func (r *Replica) Table() *model.Candidate { return r.table }
+
+// UH returns the upvote history (read-only for callers).
+func (r *Replica) UH() *VoteHist { return r.uh }
+
+// DH returns the downvote history (read-only for callers).
+func (r *Replica) DH() *VoteHist { return r.dh }
+
+// Errors returned by local operations whose preconditions fail.
+var (
+	ErrNoSuchRow     = errors.New("sync: no such row")
+	ErrRowExists     = errors.New("sync: row id already exists")
+	ErrCellFilled    = errors.New("sync: cell already filled")
+	ErrNotComplete   = errors.New("sync: row is not complete")
+	ErrNotPartial    = errors.New("sync: row has no values")
+	ErrBadColumn     = errors.New("sync: column index out of range")
+	ErrWidthMismatch = errors.New("sync: vector width does not match schema")
+)
+
+// Insert performs the insert(r) primitive: a new empty row with the given id
+// enters the table with zero vote counts. Returns the message to propagate.
+func (r *Replica) Insert(id model.RowID) (Message, error) {
+	if r.table.Has(id) {
+		return Message{}, fmt.Errorf("%w: %s", ErrRowExists, id)
+	}
+	m := Message{Type: MsgInsert, Row: id}
+	r.mustApply(m)
+	return m, nil
+}
+
+// Fill performs fill(r, col, val): the row is deleted and a newly-constructed
+// row with id newID and the column filled in takes its place (paper §2.4 —
+// minting a new row id per fill is the key to seamless concurrency). val must
+// already be canonical for the schema (clients validate first). Returns the
+// replace message to propagate.
+func (r *Replica) Fill(id model.RowID, col int, val string, newID model.RowID) (Message, error) {
+	row := r.table.Get(id)
+	if row == nil {
+		return Message{}, fmt.Errorf("%w: %s", ErrNoSuchRow, id)
+	}
+	if col < 0 || col >= r.schema.NumColumns() {
+		return Message{}, fmt.Errorf("%w: %d", ErrBadColumn, col)
+	}
+	if row.Vec[col].Set {
+		return Message{}, fmt.Errorf("%w: row %s column %d", ErrCellFilled, id, col)
+	}
+	if r.table.Has(newID) {
+		return Message{}, fmt.Errorf("%w: %s", ErrRowExists, newID)
+	}
+	m := Message{
+		Type:   MsgReplace,
+		Row:    id,
+		NewRow: newID,
+		Vec:    row.Vec.With(col, val),
+		Col:    col,
+		Val:    val,
+	}
+	r.mustApply(m)
+	return m, nil
+}
+
+// Upvote performs upvote(r) on a complete row present in this replica.
+// Returns the value-carrying upvote message to propagate.
+func (r *Replica) Upvote(id model.RowID) (Message, error) {
+	row := r.table.Get(id)
+	if row == nil {
+		return Message{}, fmt.Errorf("%w: %s", ErrNoSuchRow, id)
+	}
+	if !row.Vec.IsComplete() {
+		return Message{}, fmt.Errorf("%w: %s", ErrNotComplete, id)
+	}
+	m := Message{Type: MsgUpvote, Vec: row.Vec.Clone()}
+	r.mustApply(m)
+	return m, nil
+}
+
+// Downvote performs downvote(r) on a partial row present in this replica.
+// Returns the value-carrying downvote message to propagate.
+func (r *Replica) Downvote(id model.RowID) (Message, error) {
+	row := r.table.Get(id)
+	if row == nil {
+		return Message{}, fmt.Errorf("%w: %s", ErrNoSuchRow, id)
+	}
+	if !row.Vec.IsPartial() {
+		return Message{}, fmt.Errorf("%w: %s", ErrNotPartial, id)
+	}
+	m := Message{Type: MsgDownvote, Vec: row.Vec.Clone()}
+	r.mustApply(m)
+	return m, nil
+}
+
+// DownvoteValue downvotes an explicit value-vector (used by the worker-level
+// "modify" extension, which downvotes the old cell combination it replaces).
+func (r *Replica) DownvoteValue(v model.Vector) (Message, error) {
+	if len(v) != r.schema.NumColumns() {
+		return Message{}, ErrWidthMismatch
+	}
+	if !v.IsPartial() {
+		return Message{}, ErrNotPartial
+	}
+	m := Message{Type: MsgDownvote, Vec: v.Clone()}
+	r.mustApply(m)
+	return m, nil
+}
+
+// UndoUpvote retracts one previously-cast upvote for value v (§8 extension).
+// The caller (the worker client) is responsible for ensuring the worker
+// actually cast a matching vote.
+func (r *Replica) UndoUpvote(v model.Vector) (Message, error) {
+	if len(v) != r.schema.NumColumns() {
+		return Message{}, ErrWidthMismatch
+	}
+	m := Message{Type: MsgUnupvote, Vec: v.Clone()}
+	r.mustApply(m)
+	return m, nil
+}
+
+// UndoDownvote retracts one previously-cast downvote for value v (§8
+// extension).
+func (r *Replica) UndoDownvote(v model.Vector) (Message, error) {
+	if len(v) != r.schema.NumColumns() {
+		return Message{}, ErrWidthMismatch
+	}
+	m := Message{Type: MsgUndownvote, Vec: v.Clone()}
+	r.mustApply(m)
+	return m, nil
+}
+
+// Apply processes a message received from the server or a client (paper
+// §2.4 "Processing received messages"). Snapshot, done and estimate messages
+// mutate nothing here.
+func (r *Replica) Apply(m Message) error {
+	switch m.Type {
+	case MsgInsert:
+		if m.Row == "" {
+			return errors.New("sync: insert without row id")
+		}
+		if r.table.Has(m.Row) {
+			return fmt.Errorf("%w: %s", ErrRowExists, m.Row)
+		}
+		r.table.Put(&model.Row{ID: m.Row, Vec: model.NewVector(r.schema.NumColumns())})
+		return nil
+
+	case MsgReplace:
+		if len(m.Vec) != r.schema.NumColumns() {
+			return ErrWidthMismatch
+		}
+		if m.NewRow == "" {
+			return errors.New("sync: replace without new row id")
+		}
+		// If the old row is still present, delete it; concurrent fills may
+		// already have replaced it elsewhere, which is fine.
+		r.table.Delete(m.Row)
+		q := &model.Row{ID: m.NewRow, Vec: m.Vec.Clone()}
+		if q.Vec.IsComplete() {
+			q.Up = r.uh.Get(q.Vec)
+		}
+		q.Down = r.dh.SubsetSum(q.Vec)
+		r.table.Put(q)
+		return nil
+
+	case MsgUpvote:
+		if len(m.Vec) != r.schema.NumColumns() {
+			return ErrWidthMismatch
+		}
+		r.table.EachWithValue(m.Vec, func(row *model.Row) { row.Up++ })
+		r.uh.Inc(m.Vec)
+		return nil
+
+	case MsgDownvote:
+		if len(m.Vec) != r.schema.NumColumns() {
+			return ErrWidthMismatch
+		}
+		r.table.Each(func(row *model.Row) {
+			if row.Vec.Superset(m.Vec) {
+				row.Down++
+			}
+		})
+		r.dh.Inc(m.Vec)
+		return nil
+
+	case MsgUnupvote:
+		if len(m.Vec) != r.schema.NumColumns() {
+			return ErrWidthMismatch
+		}
+		r.table.EachWithValue(m.Vec, func(row *model.Row) { row.Up-- })
+		r.uh.Dec(m.Vec)
+		return nil
+
+	case MsgUndownvote:
+		if len(m.Vec) != r.schema.NumColumns() {
+			return ErrWidthMismatch
+		}
+		r.table.Each(func(row *model.Row) {
+			if row.Vec.Superset(m.Vec) {
+				row.Down--
+			}
+		})
+		r.dh.Dec(m.Vec)
+		return nil
+
+	case MsgSnapshot:
+		if m.Snapshot == nil {
+			return errors.New("sync: snapshot message without payload")
+		}
+		r.LoadSnapshot(m.Snapshot)
+		return nil
+
+	case MsgDone, MsgEstimate:
+		return nil
+	}
+	return fmt.Errorf("sync: unknown message type %v", m.Type)
+}
+
+// mustApply applies a locally-generated message whose preconditions were just
+// checked; failure indicates a bug, not bad input.
+func (r *Replica) mustApply(m Message) {
+	if err := r.Apply(m); err != nil {
+		panic(fmt.Sprintf("sync: applying locally-generated %s message: %v", m.Type, err))
+	}
+}
+
+// TakeSnapshot serializes the replica for a late-joining client.
+func (r *Replica) TakeSnapshot() *Snapshot {
+	s := &Snapshot{}
+	for _, row := range r.table.Rows() {
+		s.Rows = append(s.Rows, *row.Clone())
+	}
+	s.UH, s.UHVecs = r.uh.export()
+	s.DH, s.DHVecs = r.dh.export()
+	return s
+}
+
+// LoadSnapshot replaces the replica's entire state with the snapshot.
+func (r *Replica) LoadSnapshot(s *Snapshot) {
+	r.table = model.NewCandidate(r.schema)
+	for i := range s.Rows {
+		row := s.Rows[i].Clone()
+		r.table.Put(row)
+	}
+	r.uh.importFrom(s.UH, s.UHVecs)
+	r.dh.importFrom(s.DH, s.DHVecs)
+}
+
+// SnapshotText renders the full replica state canonically (rows + both
+// histories), used to compare replicas in convergence tests.
+func (r *Replica) SnapshotText() string {
+	return "rows:\n" + r.table.Snapshot() + "uh:\n" + r.uh.Snapshot() + "dh:\n" + r.dh.Snapshot()
+}
+
+// CheckLemma3 verifies the paper's Lemma 3 invariants on every row:
+// u_r = UH[r̄] for complete rows (0 otherwise in effect, since UH counts
+// whole-row values and only complete rows can be upvoted), and
+// d_r = Σ_{w⊆r̄} DH[w]. Returns the first violation found.
+func (r *Replica) CheckLemma3() error {
+	var err error
+	r.table.Each(func(row *model.Row) {
+		if err != nil {
+			return
+		}
+		wantUp := 0
+		if row.Vec.IsComplete() {
+			wantUp = r.uh.Get(row.Vec)
+		} else {
+			wantUp = r.uh.Get(row.Vec) // partial rows are never upvoted; stays 0
+		}
+		if row.Up != wantUp {
+			err = fmt.Errorf("sync: lemma3 upvote invariant violated on %s: u=%d UH=%d", row.ID, row.Up, wantUp)
+			return
+		}
+		if want := r.dh.SubsetSum(row.Vec); row.Down != want {
+			err = fmt.Errorf("sync: lemma3 downvote invariant violated on %s: d=%d Σ=%d", row.ID, row.Down, want)
+		}
+	})
+	return err
+}

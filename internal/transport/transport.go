@@ -1,0 +1,116 @@
+// Package transport provides the reliable, in-order duplex message links the
+// formal model assumes (paper §2.4). Two implementations: an in-process pipe
+// for tests and simulations, and an adapter over the wsock WebSocket layer
+// for the live system. Both carry sync.Message values as JSON.
+package transport
+
+import (
+	"errors"
+	gosync "sync"
+
+	"crowdfill/internal/sync"
+	"crowdfill/internal/wsock"
+)
+
+// Conn is one endpoint of a reliable in-order duplex message link.
+type Conn interface {
+	// Send transmits one message. It must not be called concurrently with
+	// itself.
+	Send(m sync.Message) error
+	// Recv blocks until the next message arrives or the link closes.
+	Recv() (sync.Message, error)
+	// Close shuts the link down; pending and future Recv calls fail.
+	Close() error
+}
+
+// ErrPipeClosed is returned on operations over a closed pipe.
+var ErrPipeClosed = errors.New("transport: pipe closed")
+
+// pipeShared is the closure state both ends of a pipe share: closing either
+// end closes the link exactly once.
+type pipeShared struct {
+	done chan struct{}
+	once gosync.Once
+}
+
+func (s *pipeShared) close() { s.once.Do(func() { close(s.done) }) }
+
+// pipeEnd is one side of an in-memory link.
+type pipeEnd struct {
+	in     chan sync.Message
+	out    chan sync.Message
+	shared *pipeShared
+}
+
+// Pipe returns the two endpoints of an in-process reliable in-order link
+// with the given buffer capacity per direction.
+func Pipe(buf int) (Conn, Conn) {
+	ab := make(chan sync.Message, buf)
+	ba := make(chan sync.Message, buf)
+	shared := &pipeShared{done: make(chan struct{})}
+	a := &pipeEnd{in: ba, out: ab, shared: shared}
+	b := &pipeEnd{in: ab, out: ba, shared: shared}
+	return a, b
+}
+
+func (p *pipeEnd) Send(m sync.Message) error {
+	// Check closure first: with buffer space available, a two-way select
+	// would otherwise pick between "closed" and "sent" at random.
+	select {
+	case <-p.shared.done:
+		return ErrPipeClosed
+	default:
+	}
+	select {
+	case <-p.shared.done:
+		return ErrPipeClosed
+	case p.out <- m:
+		return nil
+	}
+}
+
+func (p *pipeEnd) Recv() (sync.Message, error) {
+	select {
+	case <-p.shared.done:
+		// Drain anything already queued before reporting closure.
+		select {
+		case m := <-p.in:
+			return m, nil
+		default:
+			return sync.Message{}, ErrPipeClosed
+		}
+	case m := <-p.in:
+		return m, nil
+	}
+}
+
+func (p *pipeEnd) Close() error {
+	p.shared.close()
+	return nil
+}
+
+// wsConn adapts a WebSocket connection to the message link interface.
+type wsConn struct {
+	ws *wsock.Conn
+}
+
+// WrapWS returns a message link over an established WebSocket connection.
+func WrapWS(ws *wsock.Conn) Conn { return &wsConn{ws: ws} }
+
+func (w *wsConn) Send(m sync.Message) error {
+	data, err := sync.EncodeMessage(m)
+	if err != nil {
+		return err
+	}
+	return w.ws.WriteText(data)
+}
+
+func (w *wsConn) Recv() (sync.Message, error) {
+	data, err := w.ws.ReadText()
+	if err != nil {
+		return sync.Message{}, err
+	}
+	return sync.DecodeMessage(data)
+}
+
+func (w *wsConn) Close() error { return w.ws.Close() }

@@ -1,0 +1,114 @@
+package transport
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"crowdfill/internal/model"
+	"crowdfill/internal/sync"
+	"crowdfill/internal/wsock"
+)
+
+func TestPipeRoundTrip(t *testing.T) {
+	a, b := Pipe(4)
+	m := sync.Message{Type: sync.MsgInsert, Row: "x-1", Origin: "c1"}
+	if err := a.Send(m); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	got, err := b.Recv()
+	if err != nil {
+		t.Fatalf("Recv: %v", err)
+	}
+	if got.Type != m.Type || got.Row != m.Row {
+		t.Fatalf("got %+v", got)
+	}
+	// And the other direction.
+	if err := b.Send(sync.Message{Type: sync.MsgDone}); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := a.Recv(); err != nil || got.Type != sync.MsgDone {
+		t.Fatalf("reverse recv = %+v, %v", got, err)
+	}
+}
+
+func TestPipeOrdering(t *testing.T) {
+	a, b := Pipe(100)
+	for i := 0; i < 100; i++ {
+		if err := a.Send(sync.Message{Seq: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		m, err := b.Recv()
+		if err != nil || m.Seq != int64(i) {
+			t.Fatalf("message %d: %+v, %v", i, m, err)
+		}
+	}
+}
+
+func TestPipeCloseDrainsThenFails(t *testing.T) {
+	a, b := Pipe(4)
+	a.Send(sync.Message{Seq: 1})
+	a.Close()
+	if m, err := b.Recv(); err != nil || m.Seq != 1 {
+		t.Fatalf("queued message lost on close: %+v, %v", m, err)
+	}
+	if _, err := b.Recv(); !errors.Is(err, ErrPipeClosed) {
+		t.Fatalf("recv after close err = %v", err)
+	}
+	if err := b.Send(sync.Message{}); !errors.Is(err, ErrPipeClosed) {
+		t.Fatalf("send after close err = %v", err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestWSAdapterRoundTrip(t *testing.T) {
+	ready := make(chan Conn, 1)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ws, err := wsock.Upgrade(w, r)
+		if err != nil {
+			return
+		}
+		ready <- WrapWS(ws)
+	}))
+	defer srv.Close()
+	ws, err := wsock.Dial("ws" + strings.TrimPrefix(srv.URL, "http"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli := WrapWS(ws)
+	defer cli.Close()
+	srvConn := <-ready
+	defer srvConn.Close()
+
+	m := sync.Message{
+		Type: sync.MsgReplace, Row: "a-1", NewRow: "a-2",
+		Vec: model.VectorOf("Messi", "", "FW"), Col: 2, Val: "FW",
+		Origin: "c1", Worker: "w1", Seq: 3, TS: 99,
+	}
+	if err := cli.Send(m); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	got, err := srvConn.Recv()
+	if err != nil {
+		t.Fatalf("Recv: %v", err)
+	}
+	if got.NewRow != m.NewRow || !got.Vec.Equal(m.Vec) || got.TS != 99 {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	// Snapshot payloads survive the wire.
+	rep := sync.NewReplica(model.MustSchema("T", []model.Column{{Name: "a"}}))
+	rep.Insert("s-1")
+	if err := srvConn.Send(sync.Message{Type: sync.MsgSnapshot, Snapshot: rep.TakeSnapshot()}); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := cli.Recv()
+	if err != nil || snap.Snapshot == nil || len(snap.Snapshot.Rows) != 1 {
+		t.Fatalf("snapshot over wire = %+v, %v", snap, err)
+	}
+}

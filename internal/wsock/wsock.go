@@ -1,0 +1,345 @@
+// Package wsock is a minimal RFC 6455 WebSocket implementation built only on
+// the standard library — the stand-in for the Socket.IO layer the paper's
+// back-end server used (§3.3). It supports the handshake (server upgrade and
+// client dial), text frames with fragmentation, client-to-server masking,
+// ping/pong, and the closing handshake. Exactly what a broadcast hub needs;
+// nothing more.
+package wsock
+
+import (
+	"bufio"
+	"crypto/rand"
+	"crypto/sha1"
+	"encoding/base64"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"strings"
+	gosync "sync"
+)
+
+// guid is the fixed RFC 6455 handshake GUID.
+const guid = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+// Frame opcodes.
+const (
+	opContinuation = 0x0
+	opText         = 0x1
+	opBinary       = 0x2
+	opClose        = 0x8
+	opPing         = 0x9
+	opPong         = 0xA
+)
+
+// ErrClosed is returned when reading from a connection after the closing
+// handshake.
+var ErrClosed = errors.New("wsock: connection closed")
+
+// Conn is one WebSocket connection.
+type Conn struct {
+	nc     net.Conn
+	br     *bufio.Reader
+	client bool // client connections mask outgoing frames
+
+	wmu    gosync.Mutex
+	closed bool
+}
+
+// AcceptKey computes the Sec-WebSocket-Accept value for a handshake key.
+func AcceptKey(key string) string {
+	h := sha1.Sum([]byte(key + guid))
+	return base64.StdEncoding.EncodeToString(h[:])
+}
+
+// Upgrade performs the server side of the WebSocket handshake on an HTTP
+// request and returns the connection. The ResponseWriter must support
+// hijacking.
+func Upgrade(w http.ResponseWriter, r *http.Request) (*Conn, error) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "websocket: method must be GET", http.StatusMethodNotAllowed)
+		return nil, errors.New("wsock: method not GET")
+	}
+	if !headerContainsToken(r.Header, "Connection", "upgrade") ||
+		!strings.EqualFold(r.Header.Get("Upgrade"), "websocket") {
+		http.Error(w, "websocket: not an upgrade request", http.StatusBadRequest)
+		return nil, errors.New("wsock: missing upgrade headers")
+	}
+	key := r.Header.Get("Sec-WebSocket-Key")
+	if key == "" {
+		http.Error(w, "websocket: missing Sec-WebSocket-Key", http.StatusBadRequest)
+		return nil, errors.New("wsock: missing key")
+	}
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		http.Error(w, "websocket: hijacking unsupported", http.StatusInternalServerError)
+		return nil, errors.New("wsock: response writer cannot hijack")
+	}
+	nc, rw, err := hj.Hijack()
+	if err != nil {
+		return nil, fmt.Errorf("wsock: hijack: %w", err)
+	}
+	resp := "HTTP/1.1 101 Switching Protocols\r\n" +
+		"Upgrade: websocket\r\n" +
+		"Connection: Upgrade\r\n" +
+		"Sec-WebSocket-Accept: " + AcceptKey(key) + "\r\n\r\n"
+	if _, err := rw.WriteString(resp); err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("wsock: write handshake: %w", err)
+	}
+	if err := rw.Flush(); err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("wsock: flush handshake: %w", err)
+	}
+	return &Conn{nc: nc, br: rw.Reader}, nil
+}
+
+func headerContainsToken(h http.Header, name, token string) bool {
+	for _, v := range h.Values(name) {
+		for _, part := range strings.Split(v, ",") {
+			if strings.EqualFold(strings.TrimSpace(part), token) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Dial opens a client WebSocket connection to a ws:// URL.
+func Dial(rawURL string) (*Conn, error) {
+	u, err := url.Parse(rawURL)
+	if err != nil {
+		return nil, fmt.Errorf("wsock: parse url: %w", err)
+	}
+	if u.Scheme != "ws" {
+		return nil, fmt.Errorf("wsock: unsupported scheme %q (only ws://)", u.Scheme)
+	}
+	host := u.Host
+	if u.Port() == "" {
+		host = net.JoinHostPort(u.Hostname(), "80")
+	}
+	nc, err := net.Dial("tcp", host)
+	if err != nil {
+		return nil, fmt.Errorf("wsock: dial: %w", err)
+	}
+	keyBytes := make([]byte, 16)
+	if _, err := rand.Read(keyBytes); err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("wsock: nonce: %w", err)
+	}
+	key := base64.StdEncoding.EncodeToString(keyBytes)
+	path := u.RequestURI()
+	if path == "" {
+		path = "/"
+	}
+	req := "GET " + path + " HTTP/1.1\r\n" +
+		"Host: " + u.Host + "\r\n" +
+		"Upgrade: websocket\r\n" +
+		"Connection: Upgrade\r\n" +
+		"Sec-WebSocket-Key: " + key + "\r\n" +
+		"Sec-WebSocket-Version: 13\r\n\r\n"
+	if _, err := nc.Write([]byte(req)); err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("wsock: write handshake: %w", err)
+	}
+	br := bufio.NewReader(nc)
+	status, err := br.ReadString('\n')
+	if err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("wsock: read handshake: %w", err)
+	}
+	if !strings.Contains(status, "101") {
+		nc.Close()
+		return nil, fmt.Errorf("wsock: handshake rejected: %s", strings.TrimSpace(status))
+	}
+	var accept string
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			nc.Close()
+			return nil, fmt.Errorf("wsock: read handshake headers: %w", err)
+		}
+		line = strings.TrimRight(line, "\r\n")
+		if line == "" {
+			break
+		}
+		if k, v, ok := strings.Cut(line, ":"); ok && strings.EqualFold(strings.TrimSpace(k), "Sec-WebSocket-Accept") {
+			accept = strings.TrimSpace(v)
+		}
+	}
+	if accept != AcceptKey(key) {
+		nc.Close()
+		return nil, errors.New("wsock: bad Sec-WebSocket-Accept")
+	}
+	return &Conn{nc: nc, br: br, client: true}, nil
+}
+
+// WriteText sends one text message (fin, unfragmented).
+func (c *Conn) WriteText(p []byte) error { return c.writeFrame(opText, p) }
+
+func (c *Conn) writeFrame(opcode byte, p []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if c.closed && opcode != opClose {
+		return ErrClosed
+	}
+	var hdr [14]byte
+	hdr[0] = 0x80 | opcode // FIN set
+	n := 2
+	switch {
+	case len(p) < 126:
+		hdr[1] = byte(len(p))
+	case len(p) <= 0xFFFF:
+		hdr[1] = 126
+		binary.BigEndian.PutUint16(hdr[2:4], uint16(len(p)))
+		n = 4
+	default:
+		hdr[1] = 127
+		binary.BigEndian.PutUint64(hdr[2:10], uint64(len(p)))
+		n = 10
+	}
+	if c.client {
+		hdr[1] |= 0x80
+		var mask [4]byte
+		if _, err := rand.Read(mask[:]); err != nil {
+			return fmt.Errorf("wsock: mask: %w", err)
+		}
+		copy(hdr[n:n+4], mask[:])
+		n += 4
+		masked := make([]byte, len(p))
+		for i := range p {
+			masked[i] = p[i] ^ mask[i%4]
+		}
+		p = masked
+	}
+	if _, err := c.nc.Write(hdr[:n]); err != nil {
+		return err
+	}
+	_, err := c.nc.Write(p)
+	return err
+}
+
+// ReadText reads the next text message, transparently answering pings and
+// assembling fragmented messages. It returns ErrClosed after the closing
+// handshake, and io.EOF-wrapped errors on abrupt connection loss.
+func (c *Conn) ReadText() ([]byte, error) {
+	var msg []byte
+	assembling := false
+	for {
+		opcode, fin, payload, err := c.readFrame()
+		if err != nil {
+			return nil, err
+		}
+		switch opcode {
+		case opText:
+			if assembling {
+				return nil, errors.New("wsock: new text frame during fragmented message")
+			}
+			if fin {
+				return payload, nil
+			}
+			msg = append(msg[:0], payload...)
+			assembling = true
+		case opContinuation:
+			if !assembling {
+				return nil, errors.New("wsock: continuation without start")
+			}
+			msg = append(msg, payload...)
+			if fin {
+				return msg, nil
+			}
+		case opBinary:
+			return nil, errors.New("wsock: unexpected binary frame")
+		case opPing:
+			if err := c.writeFrame(opPong, payload); err != nil {
+				return nil, err
+			}
+		case opPong:
+			// ignore
+		case opClose:
+			c.wmu.Lock()
+			alreadyClosed := c.closed
+			c.closed = true
+			c.wmu.Unlock()
+			if !alreadyClosed {
+				// Echo the close to complete the handshake.
+				_ = c.writeFrame(opClose, payload)
+			}
+			c.nc.Close()
+			return nil, ErrClosed
+		default:
+			return nil, fmt.Errorf("wsock: unknown opcode %d", opcode)
+		}
+	}
+}
+
+func (c *Conn) readFrame() (opcode byte, fin bool, payload []byte, err error) {
+	var h [2]byte
+	if _, err = io.ReadFull(c.br, h[:]); err != nil {
+		return 0, false, nil, err
+	}
+	fin = h[0]&0x80 != 0
+	if h[0]&0x70 != 0 {
+		return 0, false, nil, errors.New("wsock: nonzero RSV bits")
+	}
+	opcode = h[0] & 0x0F
+	masked := h[1]&0x80 != 0
+	length := uint64(h[1] & 0x7F)
+	switch length {
+	case 126:
+		var ext [2]byte
+		if _, err = io.ReadFull(c.br, ext[:]); err != nil {
+			return 0, false, nil, err
+		}
+		length = uint64(binary.BigEndian.Uint16(ext[:]))
+	case 127:
+		var ext [8]byte
+		if _, err = io.ReadFull(c.br, ext[:]); err != nil {
+			return 0, false, nil, err
+		}
+		length = binary.BigEndian.Uint64(ext[:])
+	}
+	const maxFrame = 64 << 20
+	if length > maxFrame {
+		return 0, false, nil, fmt.Errorf("wsock: frame of %d bytes exceeds limit", length)
+	}
+	var mask [4]byte
+	if masked {
+		if _, err = io.ReadFull(c.br, mask[:]); err != nil {
+			return 0, false, nil, err
+		}
+	}
+	payload = make([]byte, length)
+	if _, err = io.ReadFull(c.br, payload); err != nil {
+		return 0, false, nil, err
+	}
+	if masked {
+		for i := range payload {
+			payload[i] ^= mask[i%4]
+		}
+	}
+	return opcode, fin, payload, nil
+}
+
+// Ping sends a ping frame (liveness probes).
+func (c *Conn) Ping(data []byte) error { return c.writeFrame(opPing, data) }
+
+// Close performs the closing handshake from this side and closes the
+// underlying connection.
+func (c *Conn) Close() error {
+	c.wmu.Lock()
+	if c.closed {
+		c.wmu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.wmu.Unlock()
+	_ = c.writeFrame(opClose, nil)
+	return c.nc.Close()
+}
+
+// RemoteAddr returns the peer address.
+func (c *Conn) RemoteAddr() net.Addr { return c.nc.RemoteAddr() }

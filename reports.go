@@ -1,0 +1,88 @@
+package crowdfill
+
+import (
+	"crowdfill/internal/client"
+	"crowdfill/internal/exp"
+	"crowdfill/internal/model"
+	"crowdfill/internal/transport"
+	"crowdfill/internal/wsock"
+)
+
+// ConnectWS dials a collection served elsewhere (Collection.Handler or
+// cmd/crowdfill-server) over WebSocket and returns a worker handle. url is
+// the ws:// endpoint without the worker parameter; s must carry the same
+// schema the server uses.
+func ConnectWS(url, workerID string, s Spec) (*Worker, error) {
+	schema, err := s.Schema()
+	if err != nil {
+		return nil, err
+	}
+	ws, err := wsock.Dial(url + "?worker=" + workerID)
+	if err != nil {
+		return nil, err
+	}
+	cl, err := client.New(client.Config{ID: workerID, Worker: workerID, Schema: schema})
+	if err != nil {
+		ws.Close()
+		return nil, err
+	}
+	return &Worker{
+		id:     workerID,
+		schema: schema,
+		runner: client.NewRunner(cl, transport.WrapWS(ws)),
+	}, nil
+}
+
+// The Report* helpers render the paper's §6 evaluation artifacts from a
+// simulation result (see DESIGN.md's experiment index).
+
+// RenderFinalTable renders a simulation's final table as aligned text.
+func RenderFinalTable(res *SimResult) string {
+	core := res.Core
+	return model.RenderFinal(core.Master().Schema(), core.FinalTable())
+}
+
+// RenderCandidateTable renders the end-of-run candidate table with vote
+// counts, in the style of the paper's figures.
+func RenderCandidateTable(res *SimResult) string {
+	core := res.Core
+	return model.RenderTable(core.Master().Schema(), core.Master().Table().Rows())
+}
+
+// ReportOverallEffectiveness renders E1 (§6 "overall effectiveness").
+func ReportOverallEffectiveness(res *SimResult) string { return exp.E1(res).String() }
+
+// ReportWorkerCompensation renders E2 (§6 per-worker compensation).
+func ReportWorkerCompensation(res *SimResult) string { return exp.E2(res).String() }
+
+// ReportEstimationAccuracy renders E3 (Figure 5).
+func ReportEstimationAccuracy(res *SimResult) string { return exp.E3(res).String() }
+
+// ReportSchemeComparison renders E4 (§6 allocation-scheme comparison).
+func ReportSchemeComparison(res *SimResult) (string, error) {
+	r, err := exp.E4(res)
+	if err != nil {
+		return "", err
+	}
+	return r.String(), nil
+}
+
+// ReportEarningRates renders E6 (Figure 6).
+func ReportEarningRates(res *SimResult) (string, error) {
+	r, err := exp.E6(res)
+	if err != nil {
+		return "", err
+	}
+	return r.String(), nil
+}
+
+// ReportEstimationBySchemes runs E5 (§6 MAPE by scheme) over the given seeds
+// and renders it. Each seed contributes several workloads per scheme; this
+// runs many simulations and takes a few seconds.
+func ReportEstimationBySchemes(seeds []int64) (string, error) {
+	r, err := exp.E5(seeds)
+	if err != nil {
+		return "", err
+	}
+	return r.String(), nil
+}

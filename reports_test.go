@@ -1,0 +1,236 @@
+package crowdfill
+
+import (
+	"net/http/httptest"
+	"strings"
+	gosync "sync"
+	"testing"
+)
+
+// paperOnce caches the representative run for the report tests.
+var (
+	paperOnce gosync.Once
+	paperRes  *SimResult
+	paperErr  error
+)
+
+func paperRun(t *testing.T) *SimResult {
+	t.Helper()
+	paperOnce.Do(func() { paperRes, paperErr = SimulatePaper(PaperSeed) })
+	if paperErr != nil {
+		t.Fatal(paperErr)
+	}
+	return paperRes
+}
+
+func TestReportsRender(t *testing.T) {
+	res := paperRun(t)
+	cases := map[string]func() (string, error){
+		"E1": func() (string, error) { return ReportOverallEffectiveness(res), nil },
+		"E2": func() (string, error) { return ReportWorkerCompensation(res), nil },
+		"E3": func() (string, error) { return ReportEstimationAccuracy(res), nil },
+		"E4": func() (string, error) { return ReportSchemeComparison(res) },
+		"E6": func() (string, error) { return ReportEarningRates(res) },
+	}
+	for name, fn := range cases {
+		s, err := fn()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !strings.Contains(s, name) || len(s) < 60 {
+			t.Errorf("%s report looks wrong:\n%s", name, s)
+		}
+	}
+}
+
+func TestReportEstimationBySchemes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run experiment")
+	}
+	s, err := ReportEstimationBySchemes([]int64{31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s, "E5") || !strings.Contains(s, "uniform") {
+		t.Fatalf("E5 report looks wrong:\n%s", s)
+	}
+}
+
+// TestConnectWSOverHandler drives a tiny collection over real WebSockets
+// through the public facade only.
+func TestConnectWSOverHandler(t *testing.T) {
+	s := kvSpec()
+	s.Cardinality = 1
+	coll, err := NewCollection(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coll.Close()
+	srv := httptest.NewServer(coll.Handler())
+	defer srv.Close()
+	url := "ws" + strings.TrimPrefix(srv.URL, "http")
+
+	alice, err := ConnectWS(url, "alice", s)
+	if err != nil {
+		t.Fatalf("ConnectWS: %v", err)
+	}
+	defer alice.Close()
+	bob, err := ConnectWS(url, "bob", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bob.Close()
+	if alice.ID() != "alice" {
+		t.Fatalf("ID = %q", alice.ID())
+	}
+
+	waitFor(t, func() bool { return len(alice.Rows()) == 1 })
+	fillRow(t, alice, "x", "1")
+	waitFor(t, func() bool {
+		for _, r := range bob.Rows() {
+			if r.Complete {
+				return bob.Upvote(r.ID) == nil
+			}
+		}
+		return false
+	})
+	waitFor(t, func() bool { return coll.Done() && alice.Done() && bob.Done() })
+	if rows := coll.Result(); len(rows) != 1 || rows[0][0] != "x" {
+		t.Fatalf("result = %v", rows)
+	}
+}
+
+func TestConnectWSErrors(t *testing.T) {
+	if _, err := ConnectWS("ws://127.0.0.1:1", "w", kvSpec()); err == nil {
+		t.Fatalf("refused dial should fail")
+	}
+	bad := kvSpec()
+	bad.Columns = nil
+	if _, err := ConnectWS("ws://127.0.0.1:1", "w", bad); err == nil {
+		t.Fatalf("bad spec should fail before dialing")
+	}
+}
+
+func TestSimulateOptionErrors(t *testing.T) {
+	bad := kvSpec()
+	bad.Budget = -1
+	if _, err := Simulate(SimOptions{Spec: bad}); err == nil {
+		t.Fatalf("bad spec should fail")
+	}
+	// SoccerTruth requires a matching column count.
+	if _, err := Simulate(SimOptions{Spec: kvSpec(), SoccerTruth: true}); err == nil {
+		t.Fatalf("SoccerTruth with 2-column schema should fail")
+	}
+}
+
+func TestSimulateSoccerTruth(t *testing.T) {
+	res, err := Simulate(SimOptions{
+		Spec: Spec{
+			Name: "SoccerPlayer",
+			Columns: []Column{
+				{Name: "name"}, {Name: "nationality"},
+				{Name: "position", Domain: []string{"GK", "DF", "MF", "FW"}},
+				{Name: "caps", Type: "int"}, {Name: "goals", Type: "int"},
+				{Name: "dob", Type: "date"},
+			},
+			Key:         []string{"name", "nationality"},
+			Scoring:     Scoring{Kind: "majority", K: 3},
+			Cardinality: 6,
+			Budget:      5,
+			Scheme:      "uniform",
+		},
+		SoccerTruth: true,
+		Seed:        2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Done || res.FinalRows < 6 {
+		t.Fatalf("soccer-truth sim: %s", ResultSummary(res))
+	}
+}
+
+func TestAuditRoundTrip(t *testing.T) {
+	res := paperRun(t)
+	trace, err := ExportSimTrace(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := Spec{
+		Name: "SoccerPlayer",
+		Columns: []Column{
+			{Name: "name"}, {Name: "nationality"},
+			{Name: "position", Domain: []string{"GK", "DF", "MF", "FW"}},
+			{Name: "caps", Type: "int"}, {Name: "goals", Type: "int"},
+			{Name: "dob", Type: "date"},
+		},
+		Key:         []string{"name", "nationality"},
+		Scoring:     Scoring{Kind: "majority", K: 3},
+		Cardinality: 20,
+		Budget:      10,
+		Scheme:      "dual-weighted",
+	}
+	audit, err := Audit(spec, trace, "")
+	if err != nil {
+		t.Fatalf("Audit: %v", err)
+	}
+	if audit.FinalRows != res.FinalRows {
+		t.Fatalf("audit final rows = %d, want %d", audit.FinalRows, res.FinalRows)
+	}
+	for w, want := range res.Alloc.PerWorker {
+		if got := audit.Pay[w]; got < want-0.1 || got > want+0.1 {
+			t.Fatalf("audit pay for %s = %v, live %v", w, got, want)
+		}
+		if st := audit.Statements[w]; !strings.Contains(st, "total") {
+			t.Fatalf("statement for %s missing: %q", w, st)
+		}
+	}
+	// Scheme reinterpretation changes the split but not the budget cap.
+	uni, err := Audit(spec, trace, "uniform")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, amt := range uni.Pay {
+		sum += amt
+	}
+	if sum > 10+1e-9 {
+		t.Fatalf("uniform audit exceeds budget: %v", sum)
+	}
+	// Error paths.
+	if _, err := Audit(spec, []byte("{bad"), ""); err == nil {
+		t.Fatalf("bad trace should fail")
+	}
+	if _, err := Audit(spec, trace, "lottery"); err == nil {
+		t.Fatalf("bad scheme should fail")
+	}
+	bad := spec
+	bad.Columns = nil
+	if _, err := Audit(bad, trace, ""); err == nil {
+		t.Fatalf("bad spec should fail")
+	}
+}
+
+func TestCollectionExportTrace(t *testing.T) {
+	s := kvSpec()
+	s.Cardinality = 1
+	coll, err := NewCollection(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coll.Close()
+	alice, err := coll.Connect("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return len(alice.Rows()) == 1 })
+	fillRow(t, alice, "x", "1")
+	waitFor(t, func() bool {
+		data, err := coll.ExportTrace()
+		if err != nil {
+			return false
+		}
+		audit, err := Audit(s, data, "")
+		return err == nil && audit.Messages >= 3 // 1 CC insert + 2 fills (+ auto)
+	})
+}
