@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: build test race vet verify bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# verify is the tier-1 gate plus static analysis and the race detector.
+verify: build vet test race
+
+# bench runs the hot-path benchmarks (server fan-out, probable-row scan) and
+# the paper's E1-E6 experiment benchmarks, writing BENCH_fanout.json.
+bench:
+	sh scripts/bench.sh

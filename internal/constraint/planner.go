@@ -37,6 +37,7 @@ type Action struct {
 type Planner struct {
 	tmpl  Template
 	score model.ScoreFunc
+	idx   *model.TableIndex // optional: incremental probable-row source
 
 	removed  []bool
 	assigned []model.RowID // assigned[t] = probable row currently matched, "" if none
@@ -103,13 +104,25 @@ func (p *Planner) Assignment() []model.RowID {
 	return append([]model.RowID(nil), p.assigned...)
 }
 
+// UseIndex makes Repair draw probable rows and same-key competition from an
+// incrementally maintained TableIndex instead of rescanning the candidate
+// table on every call. The index must be attached to the same replica Repair
+// is called with (e.g. via rep.SetObserver), so it reflects every applied
+// message.
+func (p *Planner) UseIndex(idx *model.TableIndex) { p.idx = idx }
+
 // Repair revalidates the matching against the replica's current state and
 // returns the actions needed to restore the PRI. Planned insertions are
 // treated as satisfying their template row (the caller must execute them);
 // the next Repair then matches the actually-inserted rows.
 func (p *Planner) Repair(rep *sync.Replica) []Action {
 	p.Repairs++
-	prob := Probable(rep.Table(), p.score)
+	var prob []*model.Row
+	if p.idx != nil {
+		prob = p.idx.Probable()
+	} else {
+		prob = Probable(rep.Table(), p.score)
+	}
 
 	// Index probable rows and build adjacency for active template rows.
 	rowIdx := make(map[model.RowID]int, len(prob))
@@ -232,6 +245,9 @@ func (p *Planner) insertable(rep *sync.Replica, t int) bool {
 	seed := p.tmpl.Rows[t].EqVector()
 	up := rep.UH().Get(seed)
 	down := rep.DH().SubsetSum(seed)
+	if p.idx != nil {
+		return WouldBeProbableIndexed(p.idx, rep.Schema(), p.score, seed, up, down)
+	}
 	return WouldBeProbable(rep.Table(), p.score, seed, up, down)
 }
 

@@ -1,8 +1,6 @@
 package constraint
 
 import (
-	"sort"
-
 	"crowdfill/internal/model"
 )
 
@@ -16,63 +14,11 @@ import (
 //  3. r is complete with a positive score, no same-key row scores higher,
 //     and r wins the deterministic tie-break (lowest row id) among equals.
 //
-// The result is sorted by row id.
+// The result is sorted by row id. This is the from-scratch path
+// (model.ProbableRows); servers on the hot path use an incrementally
+// maintained model.TableIndex instead and cross-check against this.
 func Probable(c *model.Candidate, f model.ScoreFunc) []*model.Row {
-	s := c.Schema()
-
-	// Pass 1: per-key best positive score among complete rows, and whether
-	// any row with the key has a positive score at all.
-	type keyInfo struct {
-		maxScore int        // highest positive score among complete rows
-		best     *model.Row // deterministic winner at maxScore
-		positive bool       // some row with this key scores > 0
-	}
-	keys := make(map[string]*keyInfo)
-	c.Each(func(r *model.Row) {
-		if !r.Vec.KeyComplete(s) {
-			return
-		}
-		k := r.Vec.KeyOf(s)
-		info := keys[k]
-		if info == nil {
-			info = &keyInfo{}
-			keys[k] = info
-		}
-		score := f(r.Up, r.Down)
-		if score > 0 {
-			info.positive = true
-			if r.Vec.IsComplete() {
-				if info.best == nil || score > info.maxScore ||
-					(score == info.maxScore && r.ID < info.best.ID) {
-					info.maxScore = score
-					info.best = r
-				}
-			}
-		}
-	})
-
-	var out []*model.Row
-	c.Each(func(r *model.Row) {
-		score := f(r.Up, r.Down)
-		if !r.Vec.KeyComplete(s) {
-			if score == 0 {
-				out = append(out, r)
-			}
-			return
-		}
-		info := keys[r.Vec.KeyOf(s)]
-		if score == 0 {
-			if !info.positive {
-				out = append(out, r)
-			}
-			return
-		}
-		if score > 0 && r.Vec.IsComplete() && info.best == r {
-			out = append(out, r)
-		}
-	})
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	return out
+	return model.ProbableRows(c, f)
 }
 
 // WouldBeProbable reports whether a hypothetical new row with value v would
@@ -113,6 +59,28 @@ func WouldBeProbable(c *model.Candidate, f model.ScoreFunc, v model.Vector, inhe
 		// New row must not be dominated; ties lose to the incumbent (the
 		// incumbent has the older id), so require strictly greater.
 		return score > maxOther
+	}
+	return false
+}
+
+// WouldBeProbableIndexed is WouldBeProbable evaluated against a maintained
+// TableIndex: the same-key competition comes from the index's per-key
+// statistics instead of a full table scan.
+func WouldBeProbableIndexed(idx *model.TableIndex, s *model.Schema, f model.ScoreFunc, v model.Vector, inheritedUp, inheritedDown int) bool {
+	up := 0
+	if v.IsComplete() {
+		up = inheritedUp
+	}
+	score := f(up, inheritedDown)
+	if !v.KeyComplete(s) {
+		return score == 0
+	}
+	stat, _ := idx.KeyStat(v.KeyOf(s))
+	if score == 0 {
+		return !stat.Positive
+	}
+	if score > 0 && v.IsComplete() {
+		return score > stat.MaxAny
 	}
 	return false
 }

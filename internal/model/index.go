@@ -1,0 +1,321 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+)
+
+// KeyStat summarizes the rows sharing one complete primary key, as the
+// probable-rows rules need them (paper §4.1).
+type KeyStat struct {
+	// Positive reports whether any row with this key has a positive score.
+	Positive bool
+	// MaxAny is the highest positive score among rows with this key
+	// (complete or not); 0 when Positive is false.
+	MaxAny int
+	// Best is the final-table winner: the complete positive row with the
+	// highest score, ties broken by lowest row id. Nil if none qualifies.
+	Best *Row
+	// BestScore is Best's score (0 when Best is nil).
+	BestScore int
+}
+
+// TableIndex incrementally maintains the probable-row set and the final-table
+// winners of a candidate table, so the server's per-message hot path
+// (PRI repair, completion detection, compensation estimation) does not rescan
+// the whole table on every message. It is driven by change notifications
+// (RowAdded / RowRemoved / RowVotesChanged / TableReset — the sync.Replica
+// observer surface): each notification marks the touched primary key dirty,
+// and queries lazily recompute only the dirty key groups. Since a row's
+// probable status depends only on rows sharing its key (or on the row alone
+// when its key is incomplete), this keeps per-message work proportional to
+// the touched key groups, not the table.
+//
+// The index assumes the operation model's discipline: row vectors are never
+// mutated in place (fills replace rows wholesale), so a row's key never
+// changes between RowAdded and RowRemoved.
+//
+// TableIndex is not safe for concurrent use; callers serialize access the
+// same way they serialize replica mutation.
+type TableIndex struct {
+	c *Candidate
+	f ScoreFunc
+	s *Schema
+
+	byKey map[string]map[RowID]*Row // key-complete rows grouped by key
+	free  map[RowID]*Row            // rows with an incomplete primary key
+
+	stats    map[string]*KeyStat
+	probable map[RowID]*Row
+	final    map[string]*Row // key -> final-table winner
+
+	dirtyKeys map[string]struct{}
+	dirtyFree map[RowID]struct{}
+	pending   bool // a structural change happened since the last flush
+
+	version     uint64
+	sortedProb  []*Row
+	sortedFinal []*Row
+
+	debug bool
+}
+
+// NewTableIndex builds an index over the table's current contents and keeps
+// it maintained through the observer callbacks. Attach it to the replica that
+// owns the table (e.g. rep.SetObserver(idx)) so mutations reach it.
+func NewTableIndex(c *Candidate, f ScoreFunc) *TableIndex {
+	x := &TableIndex{f: f}
+	x.TableReset(c)
+	return x
+}
+
+// SetDebug enables the opt-in cross-check mode: after every recompute the
+// incremental results are compared against the from-scratch ProbableRows and
+// FinalTable, panicking on divergence. For tests and debugging only.
+func (x *TableIndex) SetDebug(on bool) { x.debug = on }
+
+// Version returns a counter that increases whenever the probable set or the
+// final-table winners change. Cheap change detection for broadcast coalescing.
+func (x *TableIndex) Version() uint64 {
+	x.flush()
+	return x.version
+}
+
+// Probable returns the current probable rows sorted by id. The returned slice
+// is a shared cache: callers must not modify it and must not hold it across
+// further table mutations.
+func (x *TableIndex) Probable() []*Row {
+	x.flush()
+	if x.sortedProb == nil {
+		x.sortedProb = make([]*Row, 0, len(x.probable))
+		for _, r := range x.probable {
+			x.sortedProb = append(x.sortedProb, r)
+		}
+		sort.Slice(x.sortedProb, func(i, j int) bool { return x.sortedProb[i].ID < x.sortedProb[j].ID })
+	}
+	return x.sortedProb
+}
+
+// FinalTable returns the current final table sorted by row id. Same sharing
+// caveats as Probable.
+func (x *TableIndex) FinalTable() []*Row {
+	x.flush()
+	if x.sortedFinal == nil {
+		x.sortedFinal = make([]*Row, 0, len(x.final))
+		for _, r := range x.final {
+			x.sortedFinal = append(x.sortedFinal, r)
+		}
+		sort.Slice(x.sortedFinal, func(i, j int) bool { return x.sortedFinal[i].ID < x.sortedFinal[j].ID })
+	}
+	return x.sortedFinal
+}
+
+// KeyStat returns the maintained statistics for one primary-key value (as
+// produced by Vector.KeyOf). The second result is false when no key-complete
+// row with that key exists.
+func (x *TableIndex) KeyStat(key string) (KeyStat, bool) {
+	x.flush()
+	st, ok := x.stats[key]
+	if !ok {
+		return KeyStat{}, false
+	}
+	return *st, true
+}
+
+// --- observer surface (sync.Replica drives these) ---
+
+// RowAdded registers a row newly inserted into the table.
+func (x *TableIndex) RowAdded(r *Row) {
+	if r.Vec.KeyComplete(x.s) {
+		k := r.Vec.KeyOf(x.s)
+		g := x.byKey[k]
+		if g == nil {
+			g = make(map[RowID]*Row)
+			x.byKey[k] = g
+		}
+		g[r.ID] = r
+		x.dirtyKeys[k] = struct{}{}
+	} else {
+		x.free[r.ID] = r
+		x.dirtyFree[r.ID] = struct{}{}
+	}
+}
+
+// RowRemoved registers a row deleted from the table.
+func (x *TableIndex) RowRemoved(r *Row) {
+	if _, ok := x.probable[r.ID]; ok {
+		delete(x.probable, r.ID)
+		x.pending = true
+		x.sortedProb = nil
+	}
+	if r.Vec.KeyComplete(x.s) {
+		k := r.Vec.KeyOf(x.s)
+		if g := x.byKey[k]; g != nil {
+			delete(g, r.ID)
+			if len(g) == 0 {
+				delete(x.byKey, k)
+			}
+		}
+		x.dirtyKeys[k] = struct{}{}
+	} else {
+		delete(x.free, r.ID)
+		delete(x.dirtyFree, r.ID)
+	}
+}
+
+// RowVotesChanged registers a change to a row's vote counts.
+func (x *TableIndex) RowVotesChanged(r *Row) {
+	if r.Vec.KeyComplete(x.s) {
+		x.dirtyKeys[r.Vec.KeyOf(x.s)] = struct{}{}
+	} else {
+		x.dirtyFree[r.ID] = struct{}{}
+	}
+}
+
+// TableReset rebuilds the index from scratch over a (possibly new) table,
+// e.g. after a snapshot load replaces the replica state wholesale.
+func (x *TableIndex) TableReset(c *Candidate) {
+	x.c = c
+	x.s = c.Schema()
+	x.byKey = make(map[string]map[RowID]*Row)
+	x.free = make(map[RowID]*Row)
+	x.stats = make(map[string]*KeyStat)
+	x.probable = make(map[RowID]*Row)
+	x.final = make(map[string]*Row)
+	x.dirtyKeys = make(map[string]struct{})
+	x.dirtyFree = make(map[RowID]struct{})
+	x.sortedProb, x.sortedFinal = nil, nil
+	x.version++
+	c.Each(func(r *Row) { x.RowAdded(r) })
+	x.flush()
+}
+
+// --- incremental recomputation ---
+
+// flush recomputes every dirty key group and dirty free row, bumping the
+// version when membership or winners changed.
+func (x *TableIndex) flush() {
+	if len(x.dirtyKeys) == 0 && len(x.dirtyFree) == 0 && !x.pending {
+		return
+	}
+	changed := x.pending
+	x.pending = false
+
+	for id := range x.dirtyFree {
+		delete(x.dirtyFree, id)
+		r, ok := x.free[id]
+		want := ok && x.f(r.Up, r.Down) == 0
+		if _, in := x.probable[id]; in != want {
+			if want {
+				x.probable[id] = r
+			} else {
+				delete(x.probable, id)
+			}
+			changed = true
+		}
+	}
+
+	for k := range x.dirtyKeys {
+		delete(x.dirtyKeys, k)
+		if x.flushKey(k) {
+			changed = true
+		}
+	}
+
+	if changed {
+		x.version++
+		x.sortedProb, x.sortedFinal = nil, nil
+	}
+	if x.debug {
+		x.crossCheck()
+	}
+}
+
+// flushKey recomputes one key group's stats, probable membership, and final
+// winner; reports whether anything changed.
+func (x *TableIndex) flushKey(k string) bool {
+	group := x.byKey[k]
+	changed := false
+
+	if len(group) == 0 {
+		if _, had := x.stats[k]; had {
+			delete(x.stats, k)
+		}
+		if _, had := x.final[k]; had {
+			delete(x.final, k)
+			changed = true
+		}
+		return changed
+	}
+
+	st := &KeyStat{}
+	for _, r := range group {
+		score := x.f(r.Up, r.Down)
+		if score <= 0 {
+			continue
+		}
+		st.Positive = true
+		if score > st.MaxAny {
+			st.MaxAny = score
+		}
+		if r.Vec.IsComplete() {
+			if st.Best == nil || score > st.BestScore ||
+				(score == st.BestScore && r.ID < st.Best.ID) {
+				st.Best, st.BestScore = r, score
+			}
+		}
+	}
+	x.stats[k] = st
+
+	if old := x.final[k]; old != st.Best {
+		if st.Best == nil {
+			delete(x.final, k)
+		} else {
+			x.final[k] = st.Best
+		}
+		changed = true
+	}
+
+	for _, r := range group {
+		score := x.f(r.Up, r.Down)
+		var want bool
+		switch {
+		case score == 0:
+			want = !st.Positive
+		case score > 0:
+			want = r.Vec.IsComplete() && st.Best == r
+		}
+		if _, in := x.probable[r.ID]; in != want {
+			if want {
+				x.probable[r.ID] = r
+			} else {
+				delete(x.probable, r.ID)
+			}
+			changed = true
+		}
+	}
+	return changed
+}
+
+// crossCheck compares the maintained sets against the from-scratch reference
+// implementations, panicking on any divergence (debug mode only).
+func (x *TableIndex) crossCheck() {
+	ref := ProbableRows(x.c, x.f)
+	if len(ref) != len(x.probable) {
+		panic(fmt.Sprintf("model: TableIndex probable divergence: incremental %d rows, scratch %d", len(x.probable), len(ref)))
+	}
+	for _, r := range ref {
+		if x.probable[r.ID] != r {
+			panic(fmt.Sprintf("model: TableIndex probable divergence at row %s", r.ID))
+		}
+	}
+	refFinal := FinalTable(x.c, x.f)
+	if len(refFinal) != len(x.final) {
+		panic(fmt.Sprintf("model: TableIndex final divergence: incremental %d rows, scratch %d", len(x.final), len(refFinal)))
+	}
+	for _, r := range refFinal {
+		if x.final[r.Vec.KeyOf(x.s)] != r {
+			panic(fmt.Sprintf("model: TableIndex final divergence at row %s", r.ID))
+		}
+	}
+}

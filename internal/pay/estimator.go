@@ -115,6 +115,20 @@ func (e *Estimator) Join(worker string, ts int64) {
 // before m is applied), records it, and folds m's latency into the weight
 // estimates. rep must be the replica state BEFORE applying m.
 func (e *Estimator) Observe(m sync.Message, rep *sync.Replica) float64 {
+	return e.observe(m, func() []*model.Row { return constraint.Probable(rep.Table(), e.score) })
+}
+
+// ObserveProb is Observe with the probable rows supplied by the caller —
+// typically from an incrementally maintained model.TableIndex — so observing
+// a message does not rescan the candidate table. prob must reflect the same
+// replica state Observe would have computed it from.
+func (e *Estimator) ObserveProb(m sync.Message, prob []*model.Row) float64 {
+	return e.observe(m, func() []*model.Row { return prob })
+}
+
+// observe implements Observe; probFn is called only on paths that need the
+// probable rows, so unpaid CC traffic stays free of table scans.
+func (e *Estimator) observe(m sync.Message, probFn func() []*model.Row) float64 {
 	idx := e.observed
 	e.observed++
 	if m.Worker == "" || (m.Type == sync.MsgUpvote && m.Auto) {
@@ -124,7 +138,7 @@ func (e *Estimator) Observe(m sync.Message, rep *sync.Replica) float64 {
 			return 0
 		}
 	}
-	prob := constraint.Probable(rep.Table(), e.score)
+	prob := probFn()
 
 	var est float64
 	switch m.Type {
@@ -388,7 +402,12 @@ func (e *Estimator) estimateVote(up bool, prob []*model.Row) float64 {
 // Current returns the per-action estimates to display in clients' column
 // headers (Figure 1), based on the given replica state.
 func (e *Estimator) Current(rep *sync.Replica) *sync.Estimates {
-	prob := constraint.Probable(rep.Table(), e.score)
+	return e.CurrentProb(constraint.Probable(rep.Table(), e.score))
+}
+
+// CurrentProb is Current with the probable rows supplied by the caller
+// (typically from an incrementally maintained model.TableIndex).
+func (e *Estimator) CurrentProb(prob []*model.Row) *sync.Estimates {
 	out := &sync.Estimates{PerColumn: make([]float64, e.schema.NumColumns())}
 	for i := range out.PerColumn {
 		out.PerColumn[i] = e.estimateFill(i, prob)

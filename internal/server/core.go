@@ -44,12 +44,30 @@ type Config struct {
 	// TrackPerformance enables per-worker performance scaling of the
 	// displayed estimates (§5.3's noted refinement).
 	TrackPerformance bool
+	// EstimateInterval forces an estimate broadcast every N handled
+	// messages even when the estimates are unchanged (0 = default). Between
+	// forced broadcasts, MsgEstimate is only sent when the payload differs
+	// from the last broadcast, which is invisible to clients (they just
+	// store the latest estimates) but removes the dominant per-message
+	// fan-out cost.
+	EstimateInterval int
+	// DebugCrossCheck makes the incremental table index verify itself
+	// against a from-scratch recomputation after every flush (expensive;
+	// tests only).
+	DebugCrossCheck bool
+	// Logf receives operational warnings (e.g. Central Client repair
+	// overruns); nil discards them.
+	Logf func(format string, args ...any)
 }
 
-// Outbound is a message the caller must deliver to a client.
+// Outbound is a message the caller must deliver to a client. Prepared, when
+// non-nil, is the shared once-encoded form of Msg: every Outbound of one
+// broadcast carries the same Prepared, so transports that serialize encode
+// once per broadcast instead of once per recipient.
 type Outbound struct {
-	To  string // client id
-	Msg sync.Message
+	To       string // client id
+	Msg      sync.Message
+	Prepared *sync.Prepared
 }
 
 // Core is the back-end server state machine. It is NOT safe for concurrent
@@ -61,17 +79,35 @@ type Core struct {
 	planner *constraint.Planner
 	ccGen   *sync.IDGen
 	est     *pay.Estimator
+	index   *model.TableIndex // incremental probable/final maintenance
+	logf    func(format string, args ...any)
 
-	clients  map[string]string // client id -> worker id
-	joinTime map[string]int64  // worker -> first join timestamp
+	clients   map[string]string // client id -> worker id
+	joinTime  map[string]int64  // worker -> first join timestamp
+	sortedIDs []string          // cached sorted client ids; nil = rebuild
 
 	trace []sync.Message // stamped worker messages (the set M)
 	ccLog []sync.Message // stamped Central Client messages
+
+	// Estimate-broadcast coalescing state: the last broadcast payload and
+	// how many handled messages since it went out.
+	lastEstPayload []byte
+	sinceEstBcast  int
+
+	repairOverruns int // times runCC hit the iteration cap without converging
 
 	start  int64
 	lastTS int64
 	done   bool
 }
+
+// maxRepairIters bounds one runCC convergence loop; hitting it is counted
+// and logged rather than silently swallowed.
+const maxRepairIters = 1000
+
+// defaultEstimateInterval is the forced-broadcast period when
+// Config.EstimateInterval is zero.
+const defaultEstimateInterval = 64
 
 // New builds a Core, seeds the candidate table from the template via the
 // Central Client, and checks whether the constraint is (trivially) already
@@ -99,15 +135,24 @@ func New(cfg Config) (*Core, error) {
 	if err := model.ValidateScore(score, 8); err != nil {
 		return nil, err
 	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
 	c := &Core{
 		cfg:      cfg,
 		score:    score,
 		master:   sync.NewReplica(cfg.Schema),
 		planner:  constraint.NewPlanner(cfg.Template, score),
 		ccGen:    sync.NewIDGen("cc"),
+		logf:     logf,
 		clients:  make(map[string]string),
 		joinTime: make(map[string]int64),
 	}
+	c.index = model.NewTableIndex(c.master.Table(), score)
+	c.index.SetDebug(cfg.DebugCrossCheck)
+	c.master.SetObserver(c.index)
+	c.planner.UseIndex(c.index)
 	c.start = cfg.Clock.Now()
 	c.lastTS = c.start
 	c.est = pay.NewEstimator(cfg.Schema, score, cfg.Scheme, cfg.Budget, cfg.Template, c.start)
@@ -172,19 +217,32 @@ func (c *Core) execAction(a constraint.Action) {
 }
 
 // runCC repairs the PRI until stable, returning the CC messages generated.
+// Failing to converge within maxRepairIters is counted and logged (it means
+// the PRI may be violated until a later message shakes things loose).
 func (c *Core) runCC() []sync.Message {
 	before := len(c.ccLog)
-	for iter := 0; iter < 1000; iter++ {
+	stable := false
+	for iter := 0; iter < maxRepairIters; iter++ {
 		actions := c.planner.Repair(c.master)
 		if len(actions) == 0 {
+			stable = true
 			break
 		}
 		for _, a := range actions {
 			c.execAction(a)
 		}
 	}
+	if !stable {
+		c.repairOverruns++
+		c.logf("crowdfill: central client repair did not converge within %d iterations (overrun #%d)",
+			maxRepairIters, c.repairOverruns)
+	}
 	return c.ccLog[before:]
 }
+
+// RepairOverruns returns how many times the Central Client's repair loop hit
+// its iteration cap without converging.
+func (c *Core) RepairOverruns() int { return c.repairOverruns }
 
 // checkDone evaluates the completion condition: the final table derived from
 // the master copy satisfies the (active) constraint template.
@@ -192,8 +250,7 @@ func (c *Core) checkDone() {
 	if c.done {
 		return
 	}
-	final := model.FinalTable(c.master.Table(), c.score)
-	if c.planner.Template().SatisfiedBy(final) {
+	if c.planner.Template().SatisfiedBy(c.index.FinalTable()) {
 		c.done = true
 	}
 }
@@ -202,6 +259,7 @@ func (c *Core) checkDone() {
 // messages to send it: a full state snapshot plus the current estimates.
 func (c *Core) AddClient(clientID, workerID string) []Outbound {
 	c.clients[clientID] = workerID
+	c.sortedIDs = nil
 	now := c.stamp()
 	if _, ok := c.joinTime[workerID]; !ok {
 		c.joinTime[workerID] = now
@@ -209,7 +267,7 @@ func (c *Core) AddClient(clientID, workerID string) []Outbound {
 	c.est.Join(workerID, now)
 	out := []Outbound{
 		{To: clientID, Msg: sync.Message{Type: sync.MsgSnapshot, Snapshot: c.master.TakeSnapshot()}},
-		{To: clientID, Msg: sync.Message{Type: sync.MsgEstimate, Estimates: c.est.Current(c.master)}},
+		{To: clientID, Msg: sync.Message{Type: sync.MsgEstimate, Estimates: c.est.CurrentProb(c.index.Probable())}},
 	}
 	if c.done {
 		out = append(out, Outbound{To: clientID, Msg: sync.Message{Type: sync.MsgDone}})
@@ -218,7 +276,10 @@ func (c *Core) AddClient(clientID, workerID string) []Outbound {
 }
 
 // RemoveClient unregisters a client connection.
-func (c *Core) RemoveClient(clientID string) { delete(c.clients, clientID) }
+func (c *Core) RemoveClient(clientID string) {
+	delete(c.clients, clientID)
+	c.sortedIDs = nil
+}
 
 // Handle processes one message from a client: it stamps it, applies it to
 // the master table, records it in the trace, lets the Central Client repair
@@ -249,45 +310,92 @@ func (c *Core) Handle(clientID string, m sync.Message) ([]Outbound, error) {
 	c.trace = append(c.trace, m)
 	// The estimate shown for this action; observed post-apply (the worker
 	// computed theirs against an equally slightly-stale local view).
-	c.est.Observe(m, c.master)
+	c.est.ObserveProb(m, c.index.Probable())
 
 	ccMsgs := c.runCC()
 	c.checkDone()
 
 	// Broadcast in sorted client order so delivery scheduling (and anything
-	// else consuming the outbound list) is deterministic.
+	// else consuming the outbound list) is deterministic. Each broadcast
+	// group shares one Prepared, so transports encode it once total.
 	ids := c.sortedClientIDs()
-	var out []Outbound
+	estP := c.estimateBroadcast()
+	size := len(ids) * (1 + len(ccMsgs))
+	if estP != nil {
+		size += len(ids)
+	}
+	if c.done {
+		size += len(ids)
+	}
+	out := make([]Outbound, 0, size)
+	mp := sync.NewPrepared(m)
 	for _, id := range ids {
 		if id != clientID {
-			out = append(out, Outbound{To: id, Msg: m})
+			out = append(out, Outbound{To: id, Msg: m, Prepared: mp})
 		}
 	}
 	for _, cm := range ccMsgs {
+		cp := sync.NewPrepared(cm)
 		for _, id := range ids {
-			out = append(out, Outbound{To: id, Msg: cm})
+			out = append(out, Outbound{To: id, Msg: cm, Prepared: cp})
 		}
 	}
-	estMsg := sync.Message{Type: sync.MsgEstimate, Estimates: c.est.Current(c.master)}
-	for _, id := range ids {
-		out = append(out, Outbound{To: id, Msg: estMsg})
+	if estP != nil {
+		for _, id := range ids {
+			out = append(out, Outbound{To: id, Msg: estP.Message(), Prepared: estP})
+		}
 	}
 	if c.done {
+		dp := sync.NewPrepared(sync.Message{Type: sync.MsgDone})
 		for _, id := range ids {
-			out = append(out, Outbound{To: id, Msg: sync.Message{Type: sync.MsgDone}})
+			out = append(out, Outbound{To: id, Msg: dp.Message(), Prepared: dp})
 		}
 	}
 	return out, nil
 }
 
-// sortedClientIDs returns the connected client ids in stable order.
-func (c *Core) sortedClientIDs() []string {
-	ids := make([]string, 0, len(c.clients))
-	for id := range c.clients {
-		ids = append(ids, id)
+// estimateBroadcast decides whether this message's estimate update goes out,
+// returning the shared prepared message or nil to skip. Skipping when the
+// payload matches the last broadcast is invisible to clients — they simply
+// replace their stored estimates — but eliminates the dominant fan-out cost
+// on workloads where estimates rarely move. A forced broadcast every
+// EstimateInterval messages bounds staleness for any client that somehow
+// missed one.
+func (c *Core) estimateBroadcast() *sync.Prepared {
+	c.sinceEstBcast++
+	p := sync.NewPrepared(sync.Message{
+		Type:      sync.MsgEstimate,
+		Estimates: c.est.CurrentProb(c.index.Probable()),
+	})
+	interval := c.cfg.EstimateInterval
+	if interval <= 0 {
+		interval = defaultEstimateInterval
 	}
-	sort.Strings(ids)
-	return ids
+	payload, err := p.Payload()
+	if err == nil && c.lastEstPayload != nil &&
+		string(payload) == string(c.lastEstPayload) && c.sinceEstBcast < interval {
+		return nil
+	}
+	if err == nil {
+		c.lastEstPayload = payload
+	}
+	c.sinceEstBcast = 0
+	return p
+}
+
+// sortedClientIDs returns the connected client ids in stable order. The list
+// is cached and only rebuilt after membership changes; callers must not
+// modify it.
+func (c *Core) sortedClientIDs() []string {
+	if c.sortedIDs == nil {
+		ids := make([]string, 0, len(c.clients))
+		for id := range c.clients {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		c.sortedIDs = ids
+	}
+	return c.sortedIDs
 }
 
 // Done reports whether enough data has been collected.
@@ -296,9 +404,10 @@ func (c *Core) Done() bool { return c.done }
 // Master exposes the master replica (read-only for callers).
 func (c *Core) Master() *sync.Replica { return c.master }
 
-// FinalTable derives the final table from the master copy.
+// FinalTable derives the final table from the master copy. The slice is the
+// caller's to keep (the maintained index's cache is copied).
 func (c *Core) FinalTable() []*model.Row {
-	return model.FinalTable(c.master.Table(), c.score)
+	return append([]*model.Row(nil), c.index.FinalTable()...)
 }
 
 // Satisfied reports whether the final table satisfies the active constraint.

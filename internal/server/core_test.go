@@ -479,8 +479,8 @@ func TestNetServerAccessorsAndSlowClient(t *testing.T) {
 	}
 	// Route to a congested client: the server drops it rather than stall.
 	ns.mu.Lock()
-	ch := make(chan sync.Message) // unbuffered: instantly "full"
-	ns.conns["slow"] = ch
+	cc := &clientConn{ch: make(chan *sync.Prepared)} // unbuffered: instantly "full"
+	ns.conns["slow"] = cc
 	core.AddClient("slow", "w-slow")
 	ns.mu.Unlock()
 	ns.route([]Outbound{{To: "slow", Msg: sync.Message{Type: sync.MsgDone}}})

@@ -18,10 +18,24 @@ import (
 type NetServer struct {
 	mu     gosync.Mutex
 	core   *Core
-	conns  map[string]chan sync.Message
+	conns  map[string]*clientConn
 	nextID int64
 	logf   func(format string, args ...any)
 }
+
+// clientConn is one connection's outbound queue. The queue carries prepared
+// messages so a broadcast enqueues the same shared encoding everywhere. The
+// channel has two potential closers — the serving goroutine on connection
+// teardown and route() on queue overflow — so closing goes through a
+// gosync.Once: whichever path runs first wins and the other is a no-op
+// (previously an overflow followed by teardown double-closed and panicked).
+type clientConn struct {
+	ch        chan *sync.Prepared
+	closeOnce gosync.Once
+}
+
+// shutdown closes the outbound queue exactly once.
+func (cc *clientConn) shutdown() { cc.closeOnce.Do(func() { close(cc.ch) }) }
 
 // NewNetServer wraps a Core for network serving. logf may be nil to discard
 // logs.
@@ -29,7 +43,7 @@ func NewNetServer(core *Core, logf func(string, ...any)) *NetServer {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	return &NetServer{core: core, conns: make(map[string]chan sync.Message), logf: logf}
+	return &NetServer{core: core, conns: make(map[string]*clientConn), logf: logf}
 }
 
 // Handler returns the HTTP handler performing WebSocket upgrades. The worker
@@ -57,10 +71,10 @@ func (s *NetServer) ServeConn(conn transport.Conn, worker string) {
 
 func (s *NetServer) serve(conn transport.Conn, worker string) {
 	clientID := fmt.Sprintf("net-%05d", atomic.AddInt64(&s.nextID, 1))
-	outc := make(chan sync.Message, 4096)
+	cc := &clientConn{ch: make(chan *sync.Prepared, 4096)}
 
 	s.mu.Lock()
-	s.conns[clientID] = outc
+	s.conns[clientID] = cc
 	outbound := s.core.AddClient(clientID, worker)
 	s.mu.Unlock()
 
@@ -69,8 +83,8 @@ func (s *NetServer) serve(conn transport.Conn, worker string) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		for m := range outc {
-			if err := conn.Send(m); err != nil {
+		for p := range cc.ch {
+			if err := conn.SendPrepared(p); err != nil {
 				s.logf("crowdfill: send to %s: %v", clientID, err)
 				return
 			}
@@ -97,29 +111,35 @@ func (s *NetServer) serve(conn transport.Conn, worker string) {
 	s.core.RemoveClient(clientID)
 	delete(s.conns, clientID)
 	s.mu.Unlock()
-	close(outc)
+	cc.shutdown()
 	wg.Wait()
 	conn.Close()
 }
 
-// route delivers outbound messages to the per-connection queues. A client
-// that cannot keep up (full queue) is disconnected rather than allowed to
-// stall everyone (the model requires per-link FIFO, not global blocking).
+// route delivers outbound messages to the per-connection queues. Broadcast
+// entries share one Prepared, so the JSON encoding and WebSocket frame are
+// built once regardless of fan-out. A client that cannot keep up (full queue)
+// is disconnected rather than allowed to stall everyone (the model requires
+// per-link FIFO, not global blocking).
 func (s *NetServer) route(out []Outbound) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, o := range out {
-		ch, ok := s.conns[o.To]
+		cc, ok := s.conns[o.To]
 		if !ok {
 			continue
 		}
+		p := o.Prepared
+		if p == nil {
+			p = sync.NewPrepared(o.Msg)
+		}
 		select {
-		case ch <- o.Msg:
+		case cc.ch <- p:
 		default:
 			s.logf("crowdfill: client %s queue overflow, dropping connection", o.To)
 			delete(s.conns, o.To)
 			s.core.RemoveClient(o.To)
-			close(ch)
+			cc.shutdown()
 		}
 	}
 }

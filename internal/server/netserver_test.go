@@ -1,6 +1,7 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"net/http/httptest"
 	"strings"
@@ -221,6 +222,263 @@ func TestNetServerOverPipes(t *testing.T) {
 	waitFor(t, func() bool { return r.Done() && r2.Done() })
 	if !ns.Done() {
 		t.Fatalf("server not done")
+	}
+}
+
+// TestSlowClientOverflowDisconnect fills a slow client's 4096-message queue
+// through the real serve/route path: the client is dropped, the remaining
+// clients still converge, and the later connection teardown must not
+// double-close the dropped client's queue (a panic before the close became
+// once-guarded).
+func TestSlowClientOverflowDisconnect(t *testing.T) {
+	s := kvSchema(t)
+	core, err := New(Config{
+		Schema:          s,
+		Score:           model.MajorityShortcut(3),
+		Template:        constraint.Cardinality(s, 1),
+		Budget:          1,
+		DebugCrossCheck: true, // verify incremental index on every message
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns := NewNetServer(core, t.Logf)
+
+	// The slow client connects and never reads: a tiny pipe buffer blocks
+	// its writer goroutine almost immediately, so broadcasts pile into the
+	// server-side queue.
+	slowSrv, slowCli := transport.Pipe(1)
+	go ns.ServeConn(slowSrv, "w-slow")
+
+	srv1, cli1 := transport.Pipe(256)
+	go ns.ServeConn(srv1, "w1")
+	c1, err := client.New(client.Config{ID: "w1", Worker: "w1", Schema: s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := client.NewRunner(c1, cli1)
+	defer r1.Close()
+
+	waitFor(t, func() bool {
+		n := 0
+		ns.WithCore(func(c *Core) { n = c.Clients() })
+		return n == 2
+	})
+	waitFor(t, func() bool {
+		ok := false
+		r1.View(func(c *client.Client) { ok = len(c.Rows(nil)) == 1 })
+		return ok
+	})
+
+	// Complete the row, then toggle the upvote until the slow client's
+	// queue overflows (2 broadcast messages per toggle; one upvote never
+	// finishes a majority-of-3 collection, so traffic keeps flowing).
+	if err := r1.Do(func(c *client.Client) ([]sync.Message, error) {
+		return c.Fill(c.Rows(nil)[0].ID, 0, "x")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r1.Do(func(c *client.Client) ([]sync.Message, error) {
+		for _, row := range c.Rows(nil) {
+			if row.Vec[0].Set && !row.Vec[1].Set {
+				return c.Fill(row.ID, 1, "1")
+			}
+		}
+		return nil, fmt.Errorf("partial row not found")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var vec model.Vector
+	r1.View(func(c *client.Client) {
+		for _, row := range c.Rows(nil) {
+			if row.Vec.IsComplete() {
+				vec = row.Vec.Clone()
+			}
+		}
+	})
+	if vec == nil {
+		t.Fatal("no complete row after fills")
+	}
+	dropped := func() bool {
+		live := false
+		ns.WithCore(func(c *Core) {
+			for _, w := range c.clients {
+				if w == "w-slow" {
+					live = true
+				}
+			}
+		})
+		return !live
+	}
+	// Completing the row auto-upvoted it, so each toggle undoes then re-casts.
+	for i := 0; i < 2400 && !dropped(); i++ {
+		if err := r1.Do(func(c *client.Client) ([]sync.Message, error) {
+			m, uerr := c.UndoVote(vec)
+			if uerr != nil {
+				return nil, uerr
+			}
+			return []sync.Message{m}, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := r1.Do(func(c *client.Client) ([]sync.Message, error) {
+			for _, row := range c.Rows(nil) {
+				if row.Vec.IsComplete() {
+					m, uerr := c.Upvote(row.ID)
+					if uerr != nil {
+						return nil, uerr
+					}
+					return []sync.Message{m}, nil
+				}
+			}
+			return nil, fmt.Errorf("complete row lost")
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !dropped() {
+		t.Fatal("slow client was never dropped despite queue overflow")
+	}
+
+	// The survivors converge: fresh workers push the row to a majority
+	// (the toggle loop always ends with w1's upvote cast, so one more vote
+	// finishes; extra workers may find the run already done).
+	for _, w := range []string{"w2", "w3"} {
+		if ns.Done() {
+			break
+		}
+		srvN, cliN := transport.Pipe(256)
+		go ns.ServeConn(srvN, w)
+		cN, err := client.New(client.Config{ID: w, Worker: w, Schema: s})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rN := client.NewRunner(cN, cliN)
+		defer rN.Close()
+		waitFor(t, func() bool {
+			ok := false
+			rN.View(func(c *client.Client) {
+				for _, row := range c.Rows(nil) {
+					if row.Vec.IsComplete() {
+						ok = true
+					}
+				}
+			})
+			return ok
+		})
+		if err := rN.Do(func(c *client.Client) ([]sync.Message, error) {
+			for _, row := range c.Rows(nil) {
+				if row.Vec.IsComplete() {
+					m, uerr := c.Upvote(row.ID)
+					if uerr != nil {
+						return nil, uerr
+					}
+					return []sync.Message{m}, nil
+				}
+			}
+			return nil, fmt.Errorf("no complete row")
+		}); err != nil && !errors.Is(err, client.ErrDone) {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, func() bool { return ns.Done() })
+
+	// Tear the slow connection down for real: its serve goroutine runs the
+	// same shutdown the overflow path already ran. Before the once-guard
+	// this was a double close and crashed the whole server process.
+	slowCli.Close()
+	time.Sleep(50 * time.Millisecond) // give a would-be panic time to fire
+
+	ns.WithCore(func(c *Core) {
+		if n := c.RepairOverruns(); n != 0 {
+			t.Fatalf("central client repair overran %d times", n)
+		}
+	})
+}
+
+// TestBroadcastWireBytesShared checks the end-to-end encode-once guarantee:
+// two WebSocket clients receive byte-for-byte identical wire text for one
+// broadcast, and those bytes equal the canonical per-connection encoding.
+func TestBroadcastWireBytesShared(t *testing.T) {
+	s := kvSchema(t)
+	core, err := New(Config{
+		Schema:   s,
+		Score:    model.MajorityShortcut(3),
+		Template: constraint.Cardinality(s, 1),
+		Budget:   1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns := NewNetServer(core, t.Logf)
+	hsrv := httptest.NewServer(ns.Handler())
+	defer hsrv.Close()
+	url := "ws" + strings.TrimPrefix(hsrv.URL, "http")
+
+	// Two passive raw WebSocket observers.
+	ws1, err := wsock.Dial(url + "?worker=obs1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ws1.Close()
+	ws2, err := wsock.Dial(url + "?worker=obs2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ws2.Close()
+
+	// A pipe-connected worker performs one fill, broadcast to both.
+	srv3, cli3 := transport.Pipe(64)
+	go ns.ServeConn(srv3, "w3")
+	c3, err := client.New(client.Config{ID: "w3", Worker: "w3", Schema: s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3 := client.NewRunner(c3, cli3)
+	defer r3.Close()
+	waitFor(t, func() bool {
+		ok := false
+		r3.View(func(c *client.Client) { ok = len(c.Rows(nil)) == 1 })
+		return ok
+	})
+	if err := r3.Do(func(c *client.Client) ([]sync.Message, error) {
+		return c.Fill(c.Rows(nil)[0].ID, 0, "x")
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	readReplace := func(ws *wsock.Conn) []byte {
+		for i := 0; i < 32; i++ {
+			raw, err := ws.ReadText()
+			if err != nil {
+				t.Fatalf("ReadText: %v", err)
+			}
+			m, err := sync.DecodeMessage(raw)
+			if err != nil {
+				t.Fatalf("DecodeMessage(%q): %v", raw, err)
+			}
+			if m.Type == sync.MsgReplace {
+				return raw
+			}
+		}
+		t.Fatal("no replace broadcast observed")
+		return nil
+	}
+	b1 := readReplace(ws1)
+	b2 := readReplace(ws2)
+	if string(b1) != string(b2) {
+		t.Fatalf("broadcast bytes differ between clients:\n%q\n%q", b1, b2)
+	}
+	m, err := sync.DecodeMessage(b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	canonical, err := sync.EncodeMessage(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != string(canonical) {
+		t.Fatalf("wire bytes are not the canonical encoding:\n%q\n%q", b1, canonical)
 	}
 }
 

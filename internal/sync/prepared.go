@@ -1,0 +1,55 @@
+package sync
+
+import gosync "sync"
+
+// Prepared is a message prepared for delivery to many clients: the JSON
+// encoding — and, one layer down, the transport frame — is produced once and
+// shared by every recipient, so a broadcast to N clients costs one encode
+// instead of N (the same idea as gorilla/websocket's PreparedMessage).
+//
+// Encoding is lazy: wrapping a single-recipient message in a Prepared costs
+// nothing until a transport actually asks for bytes, and in-process
+// transports that deliver the Message value directly never encode at all.
+// All methods are safe for concurrent use by multiple sender goroutines.
+type Prepared struct {
+	msg Message
+
+	once gosync.Once
+	data []byte
+	err  error
+
+	frameOnce gosync.Once
+	frame     any
+	frameErr  error
+}
+
+// NewPrepared wraps a message for shared delivery. The message must not be
+// mutated afterwards.
+func NewPrepared(m Message) *Prepared { return &Prepared{msg: m} }
+
+// Message returns the wrapped message value.
+func (p *Prepared) Message() Message { return p.msg }
+
+// Payload returns the message's JSON encoding, marshalling on first use and
+// returning the same shared bytes afterwards. Callers must not modify the
+// returned slice.
+func (p *Prepared) Payload() ([]byte, error) {
+	p.once.Do(func() { p.data, p.err = EncodeMessage(p.msg) })
+	return p.data, p.err
+}
+
+// Frame returns the transport-level frame for this message, building it with
+// build on first use and returning the same shared value afterwards. The
+// transport layer supplies build (e.g. wrapping Payload in a cached RFC 6455
+// frame); sync stays transport-agnostic.
+func (p *Prepared) Frame(build func(payload []byte) (any, error)) (any, error) {
+	p.frameOnce.Do(func() {
+		data, err := p.Payload()
+		if err != nil {
+			p.frameErr = err
+			return
+		}
+		p.frame, p.frameErr = build(data)
+	})
+	return p.frame, p.frameErr
+}

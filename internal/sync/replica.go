@@ -18,6 +18,23 @@ type Replica struct {
 	table  *model.Candidate
 	uh     *VoteHist
 	dh     *VoteHist
+	obs    TableObserver
+}
+
+// TableObserver receives fine-grained change notifications as messages are
+// applied to a replica, so derived structures (e.g. model.TableIndex) can be
+// maintained incrementally instead of rescanning the table per message.
+// Callbacks fire after the table mutation they describe.
+type TableObserver interface {
+	// RowAdded fires after a row enters the table.
+	RowAdded(*model.Row)
+	// RowRemoved fires after a row leaves the table.
+	RowRemoved(*model.Row)
+	// RowVotesChanged fires after a row's Up/Down counts change.
+	RowVotesChanged(*model.Row)
+	// TableReset fires when the replica's entire table is replaced (snapshot
+	// load); the argument is the new candidate table.
+	TableReset(*model.Candidate)
 }
 
 // NewReplica returns an empty replica over schema s.
@@ -42,6 +59,15 @@ func (r *Replica) UH() *VoteHist { return r.uh }
 
 // DH returns the downvote history (read-only for callers).
 func (r *Replica) DH() *VoteHist { return r.dh }
+
+// SetObserver attaches a change observer (nil detaches). The observer is
+// immediately synchronized with the current table via TableReset.
+func (r *Replica) SetObserver(o TableObserver) {
+	r.obs = o
+	if o != nil {
+		o.TableReset(r.table)
+	}
+}
 
 // Errors returned by local operations whose preconditions fail.
 var (
@@ -175,7 +201,11 @@ func (r *Replica) Apply(m Message) error {
 		if r.table.Has(m.Row) {
 			return fmt.Errorf("%w: %s", ErrRowExists, m.Row)
 		}
-		r.table.Put(&model.Row{ID: m.Row, Vec: model.NewVector(r.schema.NumColumns())})
+		row := &model.Row{ID: m.Row, Vec: model.NewVector(r.schema.NumColumns())}
+		r.table.Put(row)
+		if r.obs != nil {
+			r.obs.RowAdded(row)
+		}
 		return nil
 
 	case MsgReplace:
@@ -187,20 +217,33 @@ func (r *Replica) Apply(m Message) error {
 		}
 		// If the old row is still present, delete it; concurrent fills may
 		// already have replaced it elsewhere, which is fine.
-		r.table.Delete(m.Row)
+		if old := r.table.Get(m.Row); old != nil {
+			r.table.Delete(m.Row)
+			if r.obs != nil {
+				r.obs.RowRemoved(old)
+			}
+		}
 		q := &model.Row{ID: m.NewRow, Vec: m.Vec.Clone()}
 		if q.Vec.IsComplete() {
 			q.Up = r.uh.Get(q.Vec)
 		}
 		q.Down = r.dh.SubsetSum(q.Vec)
 		r.table.Put(q)
+		if r.obs != nil {
+			r.obs.RowAdded(q)
+		}
 		return nil
 
 	case MsgUpvote:
 		if len(m.Vec) != r.schema.NumColumns() {
 			return ErrWidthMismatch
 		}
-		r.table.EachWithValue(m.Vec, func(row *model.Row) { row.Up++ })
+		r.table.EachWithValue(m.Vec, func(row *model.Row) {
+			row.Up++
+			if r.obs != nil {
+				r.obs.RowVotesChanged(row)
+			}
+		})
 		r.uh.Inc(m.Vec)
 		return nil
 
@@ -211,6 +254,9 @@ func (r *Replica) Apply(m Message) error {
 		r.table.Each(func(row *model.Row) {
 			if row.Vec.Superset(m.Vec) {
 				row.Down++
+				if r.obs != nil {
+					r.obs.RowVotesChanged(row)
+				}
 			}
 		})
 		r.dh.Inc(m.Vec)
@@ -220,7 +266,12 @@ func (r *Replica) Apply(m Message) error {
 		if len(m.Vec) != r.schema.NumColumns() {
 			return ErrWidthMismatch
 		}
-		r.table.EachWithValue(m.Vec, func(row *model.Row) { row.Up-- })
+		r.table.EachWithValue(m.Vec, func(row *model.Row) {
+			row.Up--
+			if r.obs != nil {
+				r.obs.RowVotesChanged(row)
+			}
+		})
 		r.uh.Dec(m.Vec)
 		return nil
 
@@ -231,6 +282,9 @@ func (r *Replica) Apply(m Message) error {
 		r.table.Each(func(row *model.Row) {
 			if row.Vec.Superset(m.Vec) {
 				row.Down--
+				if r.obs != nil {
+					r.obs.RowVotesChanged(row)
+				}
 			}
 		})
 		r.dh.Dec(m.Vec)
@@ -277,6 +331,9 @@ func (r *Replica) LoadSnapshot(s *Snapshot) {
 	}
 	r.uh.importFrom(s.UH, s.UHVecs)
 	r.dh.importFrom(s.DH, s.DHVecs)
+	if r.obs != nil {
+		r.obs.TableReset(r.table)
+	}
 }
 
 // SnapshotText renders the full replica state canonically (rows + both

@@ -17,6 +17,11 @@ type Conn interface {
 	// Send transmits one message. It must not be called concurrently with
 	// itself.
 	Send(m sync.Message) error
+	// SendPrepared transmits a message prepared once for many recipients:
+	// implementations reuse the shared encoding (and, where the wire format
+	// allows, the shared frame) instead of re-encoding per connection. Same
+	// concurrency contract as Send.
+	SendPrepared(p *sync.Prepared) error
 	// Recv blocks until the next message arrives or the link closes.
 	Recv() (sync.Message, error)
 	// Close shuts the link down; pending and future Recv calls fail.
@@ -69,6 +74,10 @@ func (p *pipeEnd) Send(m sync.Message) error {
 	}
 }
 
+// SendPrepared delivers the message value directly: in-process pipes never
+// serialize, so a shared encoding has nothing to save.
+func (p *pipeEnd) SendPrepared(prep *sync.Prepared) error { return p.Send(prep.Message()) }
+
 func (p *pipeEnd) Recv() (sync.Message, error) {
 	select {
 	case <-p.shared.done:
@@ -103,6 +112,19 @@ func (w *wsConn) Send(m sync.Message) error {
 		return err
 	}
 	return w.ws.WriteText(data)
+}
+
+// SendPrepared writes the shared RFC 6455 frame built once per broadcast
+// (and cached inside the Prepared), so N recipients cost one JSON encode and
+// one frame build instead of N of each.
+func (w *wsConn) SendPrepared(p *sync.Prepared) error {
+	frame, err := p.Frame(func(payload []byte) (any, error) {
+		return wsock.NewPreparedText(payload), nil
+	})
+	if err != nil {
+		return err
+	}
+	return w.ws.WritePrepared(frame.(*wsock.PreparedFrame))
 }
 
 func (w *wsConn) Recv() (sync.Message, error) {

@@ -1,0 +1,56 @@
+package wsock
+
+import "encoding/binary"
+
+// PreparedFrame is a text message assembled into its RFC 6455 server frame
+// exactly once, so a broadcast hub can write the same bytes to every
+// connection instead of re-framing per client. Server frames are unmasked,
+// which is what makes the byte-for-byte sharing possible; client connections
+// must mask with a fresh key per frame and fall back to normal framing.
+type PreparedFrame struct {
+	payload []byte // the text payload, for masked (client) fallback
+	frame   []byte // header + payload, FIN text frame, unmasked
+}
+
+// NewPreparedText builds the shared unmasked text frame for a payload. The
+// payload must not be modified afterwards.
+func NewPreparedText(payload []byte) *PreparedFrame {
+	var hdr [10]byte
+	hdr[0] = 0x80 | opText // FIN set
+	n := 2
+	switch {
+	case len(payload) < 126:
+		hdr[1] = byte(len(payload))
+	case len(payload) <= 0xFFFF:
+		hdr[1] = 126
+		binary.BigEndian.PutUint16(hdr[2:4], uint16(len(payload)))
+		n = 4
+	default:
+		hdr[1] = 127
+		binary.BigEndian.PutUint64(hdr[2:10], uint64(len(payload)))
+		n = 10
+	}
+	frame := make([]byte, 0, n+len(payload))
+	frame = append(frame, hdr[:n]...)
+	frame = append(frame, payload...)
+	return &PreparedFrame{payload: payload, frame: frame}
+}
+
+// Payload returns the text payload the frame carries.
+func (f *PreparedFrame) Payload() []byte { return f.payload }
+
+// WritePrepared sends a prepared text message. On server connections the
+// cached frame bytes are written as-is (one buffer, no per-client framing
+// work); client connections re-frame with a fresh mask, as RFC 6455 requires.
+func (c *Conn) WritePrepared(f *PreparedFrame) error {
+	if c.client {
+		return c.writeFrame(opText, f.payload)
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	_, err := c.nc.Write(f.frame)
+	return err
+}

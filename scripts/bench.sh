@@ -1,0 +1,30 @@
+#!/bin/sh
+# Runs the hot-path and experiment benchmarks and writes BENCH_fanout.json
+# with the server fan-out numbers (the scaling acceptance metric).
+set -eu
+cd "$(dirname "$0")/.."
+
+OUT=BENCH_fanout.json
+RAW=$(mktemp)
+trap 'rm -f "$RAW"' EXIT
+
+echo "== server fan-out =="
+go test -run '^$' -bench 'BenchmarkAblationServerFanout' -benchtime "${FANOUT_BENCHTIME:-5x}" . | tee "$RAW"
+
+echo "== probable rows =="
+go test -run '^$' -bench 'BenchmarkProbable' -benchtime "${PROBABLE_BENCHTIME:-20x}" ./internal/constraint/
+
+echo "== experiments E1-E6 =="
+go test -run '^$' -bench 'BenchmarkE[1-6]' -benchtime 1x .
+
+awk '
+/^BenchmarkAblationServerFanout\// {
+    split($1, parts, "=")
+    sub(/-.*/, "", parts[2])
+    if (n++) printf ",\n"
+    printf "  {\"clients\": %s, \"ns_per_op\": %s}", parts[2], $3
+}
+BEGIN { printf "[\n" }
+END   { printf "\n]\n" }
+' "$RAW" > "$OUT"
+echo "wrote $OUT"
