@@ -116,7 +116,8 @@ func (c *Collection) ComputePay() (map[string]float64, error) {
 	return out, err
 }
 
-// Close shuts down every in-process worker connection.
+// Close shuts down every in-process worker connection and the server's
+// broadcast plane (its log dispatcher and any remaining connection writers).
 func (c *Collection) Close() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -124,6 +125,7 @@ func (c *Collection) Close() {
 		w.runner.Close()
 	}
 	c.workers = nil
+	c.ns.Shutdown()
 }
 
 // Connect joins an in-process worker to the collection and returns its

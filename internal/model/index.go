@@ -57,7 +57,38 @@ type TableIndex struct {
 	sortedProb  []*Row
 	sortedFinal []*Row
 
+	listener ProbableDeltaListener
+
 	debug bool
+}
+
+// ProbableDeltaListener observes probable-set changes as the index maintains
+// itself, so derived aggregates (e.g. the compensation estimator's
+// denominator tallies) can be updated from deltas instead of rescanning the
+// probable rows per query. Callbacks fire while the index flushes (or, for
+// ProbableRemoved, while a row leaves the table); implementations must not
+// call back into the index's query methods from inside a callback.
+type ProbableDeltaListener interface {
+	// ProbableAdded fires when a row enters the probable set.
+	ProbableAdded(*Row)
+	// ProbableRemoved fires when a row leaves the probable set.
+	ProbableRemoved(*Row)
+	// ProbableUpdated fires when a row stays probable through a recompute of
+	// its key group; its vote counts may have changed (its vector cannot —
+	// fills replace rows wholesale). May fire spuriously.
+	ProbableUpdated(*Row)
+	// IndexReset fires when the index rebuilds from scratch (table reset).
+	// The listener must drop all derived state; the rebuild re-delivers a
+	// ProbableAdded per surviving probable row.
+	IndexReset()
+}
+
+// SetDeltaListener attaches a probable-set delta listener (nil detaches).
+// Pending changes are flushed first, so the listener observes only deltas
+// applied after attachment; callers seed initial state from Probable().
+func (x *TableIndex) SetDeltaListener(l ProbableDeltaListener) {
+	x.flush()
+	x.listener = l
 }
 
 // NewTableIndex builds an index over the table's current contents and keeps
@@ -147,6 +178,9 @@ func (x *TableIndex) RowRemoved(r *Row) {
 		delete(x.probable, r.ID)
 		x.pending = true
 		x.sortedProb = nil
+		if x.listener != nil {
+			x.listener.ProbableRemoved(r)
+		}
 	}
 	if r.Vec.KeyComplete(x.s) {
 		k := r.Vec.KeyOf(x.s)
@@ -177,6 +211,9 @@ func (x *TableIndex) RowVotesChanged(r *Row) {
 func (x *TableIndex) TableReset(c *Candidate) {
 	x.c = c
 	x.s = c.Schema()
+	if x.listener != nil {
+		x.listener.IndexReset()
+	}
 	x.byKey = make(map[string]map[RowID]*Row)
 	x.free = make(map[RowID]*Row)
 	x.stats = make(map[string]*KeyStat)
@@ -205,11 +242,17 @@ func (x *TableIndex) flush() {
 		delete(x.dirtyFree, id)
 		r, ok := x.free[id]
 		want := ok && x.f(r.Up, r.Down) == 0
-		if _, in := x.probable[id]; in != want {
+		if prev, in := x.probable[id]; in != want {
 			if want {
 				x.probable[id] = r
+				if x.listener != nil {
+					x.listener.ProbableAdded(r)
+				}
 			} else {
 				delete(x.probable, id)
+				if x.listener != nil {
+					x.listener.ProbableRemoved(prev)
+				}
 			}
 			changed = true
 		}
@@ -285,13 +328,26 @@ func (x *TableIndex) flushKey(k string) bool {
 		case score > 0:
 			want = r.Vec.IsComplete() && st.Best == r
 		}
-		if _, in := x.probable[r.ID]; in != want {
-			if want {
-				x.probable[r.ID] = r
-			} else {
-				delete(x.probable, r.ID)
+		_, in := x.probable[r.ID]
+		switch {
+		case in != want && want:
+			x.probable[r.ID] = r
+			if x.listener != nil {
+				x.listener.ProbableAdded(r)
 			}
 			changed = true
+		case in != want:
+			delete(x.probable, r.ID)
+			if x.listener != nil {
+				x.listener.ProbableRemoved(r)
+			}
+			changed = true
+		case in:
+			// Still probable, but the group was dirty: its votes may have
+			// moved, which denominator aggregates care about.
+			if x.listener != nil {
+				x.listener.ProbableUpdated(r)
+			}
 		}
 	}
 	return changed

@@ -1,0 +1,109 @@
+package model
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// shadowListener reconstructs the probable set purely from delta callbacks,
+// so the test can prove the delta stream is sound (no duplicate adds, no
+// removes of absent rows) and complete (replaying it yields exactly the set).
+type shadowListener struct {
+	t      *testing.T
+	rows   map[RowID]*Row
+	resets int
+}
+
+func (l *shadowListener) ProbableAdded(r *Row) {
+	if _, ok := l.rows[r.ID]; ok {
+		l.t.Fatalf("duplicate ProbableAdded for %s", r.ID)
+	}
+	l.rows[r.ID] = r
+}
+
+func (l *shadowListener) ProbableRemoved(r *Row) {
+	if _, ok := l.rows[r.ID]; !ok {
+		l.t.Fatalf("ProbableRemoved for absent row %s", r.ID)
+	}
+	delete(l.rows, r.ID)
+}
+
+func (l *shadowListener) ProbableUpdated(r *Row) {
+	if _, ok := l.rows[r.ID]; !ok {
+		l.t.Fatalf("ProbableUpdated for absent row %s", r.ID)
+	}
+}
+
+func (l *shadowListener) IndexReset() {
+	l.rows = make(map[RowID]*Row)
+	l.resets++
+}
+
+// TestDeltaListenerTracksProbable drives a TableIndex through a randomized op
+// mix (adds, vote changes, removals, full resets) and checks after every
+// flush that the listener-reconstructed probable set matches the index's,
+// which debug mode in turn checks against the from-scratch recomputation.
+func TestDeltaListenerTracksProbable(t *testing.T) {
+	s := MustSchema("KV", []Column{
+		{Name: "k", Type: TypeString},
+		{Name: "v", Type: TypeString},
+	}, "k")
+	c := NewCandidate(s)
+	idx := NewTableIndex(c, MajorityShortcut(3))
+	idx.SetDebug(true)
+	sh := &shadowListener{t: t, rows: make(map[RowID]*Row)}
+	idx.SetDeltaListener(sh)
+
+	rng := rand.New(rand.NewSource(3))
+	cells := []string{"", "a", "b", "c"}
+	nextID := 0
+
+	check := func(step int) {
+		t.Helper()
+		prob := idx.Probable()
+		if len(prob) != len(sh.rows) {
+			t.Fatalf("step %d: listener holds %d rows, index %d", step, len(sh.rows), len(prob))
+		}
+		for _, r := range prob {
+			if sh.rows[r.ID] != r {
+				t.Fatalf("step %d: listener missing probable row %s", step, r.ID)
+			}
+		}
+	}
+
+	for step := 0; step < 600; step++ {
+		rows := c.Rows()
+		switch op := rng.Intn(10); {
+		case op < 4 || len(rows) == 0: // add a row
+			nextID++
+			r := &Row{
+				ID:  RowID(fmt.Sprintf("r-%03d", nextID)),
+				Vec: VectorOf(cells[rng.Intn(len(cells))], cells[rng.Intn(len(cells))]),
+			}
+			c.Put(r)
+			idx.RowAdded(r)
+		case op < 8: // vote change
+			r := rows[rng.Intn(len(rows))]
+			if rng.Intn(2) == 0 {
+				r.Up++
+			} else {
+				r.Down++
+			}
+			idx.RowVotesChanged(r)
+		case op < 9: // remove
+			r := rows[rng.Intn(len(rows))]
+			c.Delete(r.ID)
+			idx.RowRemoved(r)
+		default: // full rebuild
+			idx.TableReset(c)
+			if sh.resets == 0 {
+				t.Fatalf("step %d: TableReset did not fire IndexReset", step)
+			}
+		}
+		check(step)
+	}
+	if sh.resets == 0 {
+		t.Fatal("op mix never exercised IndexReset")
+	}
+}

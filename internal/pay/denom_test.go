@@ -1,0 +1,183 @@
+package pay
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"crowdfill/internal/constraint"
+	"crowdfill/internal/model"
+	"crowdfill/internal/sync"
+)
+
+// TestIncrementalDenominatorMatchesScan cross-checks the two estimator modes
+// over a randomized op mix: one estimator attached to a TableIndex (tallies
+// maintained from probable-set deltas), one detached (denominator recomputed
+// by scanning the probable rows each time). Every per-action estimate and
+// every displayed estimate payload must agree, including across a snapshot
+// reload that forces an index rebuild.
+func TestIncrementalDenominatorMatchesScan(t *testing.T) {
+	s := kvSchema(t)
+	tmpl := constraint.Cardinality(s, 4)
+	score := model.MajorityShortcut(3)
+	inc := NewEstimator(s, score, DualWeighted, 10, tmpl, 0)
+	ref := NewEstimator(s, score, DualWeighted, 10, tmpl, 0)
+	rep := sync.NewReplica(s)
+	idx := model.NewTableIndex(rep.Table(), score)
+	idx.SetDebug(true)
+	rep.SetObserver(idx)
+	inc.AttachIndex(idx)
+
+	workers := []string{"w1", "w2", "w3"}
+	for _, w := range workers {
+		inc.Join(w, 0)
+		ref.Join(w, 0)
+	}
+
+	rng := rand.New(rand.NewSource(11))
+	gen := sync.NewIDGen("n")
+	vals := []string{"ada", "bob", "cyd"}
+	var ts int64
+
+	compare := func(step int) {
+		t.Helper()
+		a := inc.CurrentIndexed()
+		b := ref.CurrentProb(idx.Probable())
+		for i := range a.PerColumn {
+			if math.Abs(a.PerColumn[i]-b.PerColumn[i]) > 1e-9 {
+				t.Fatalf("step %d: PerColumn[%d] incremental %v, scan %v", step, i, a.PerColumn[i], b.PerColumn[i])
+			}
+		}
+		if math.Abs(a.Upvote-b.Upvote) > 1e-9 || math.Abs(a.Downvote-b.Downvote) > 1e-9 {
+			t.Fatalf("step %d: votes incremental %v/%v, scan %v/%v", step, a.Upvote, a.Downvote, b.Upvote, b.Downvote)
+		}
+	}
+
+	genOp := func() (sync.Message, bool) {
+		rows := rep.Table().Rows()
+		if len(rows) == 0 || rng.Intn(8) == 0 {
+			m, err := rep.Insert(gen.Next())
+			return m, err == nil
+		}
+		row := rows[rng.Intn(len(rows))]
+		switch rng.Intn(5) {
+		case 0, 1:
+			for ci := range row.Vec {
+				if !row.Vec[ci].Set {
+					m, err := rep.Fill(row.ID, ci, vals[rng.Intn(len(vals))], gen.Next())
+					return m, err == nil
+				}
+			}
+			return sync.Message{}, false
+		case 2:
+			m, err := rep.Upvote(row.ID)
+			return m, err == nil
+		case 3:
+			m, err := rep.Downvote(row.ID)
+			return m, err == nil
+		default:
+			var m sync.Message
+			var err error
+			if rng.Intn(2) == 0 {
+				m, err = rep.UndoUpvote(row.Vec)
+			} else {
+				m, err = rep.UndoDownvote(row.Vec)
+			}
+			return m, err == nil
+		}
+	}
+
+	for step := 0; step < 300; step++ {
+		m, ok := genOp()
+		if !ok {
+			continue
+		}
+		m.Worker = workers[rng.Intn(len(workers))]
+		ts += int64(1+rng.Intn(5)) * 1e9
+		m.TS = ts
+
+		got := inc.ObserveIndexed(m)
+		want := ref.ObserveProb(m, idx.Probable())
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("step %d (%v): incremental estimate %v, scan %v", step, m.Type, got, want)
+		}
+		compare(step)
+
+		// Occasionally reload the whole state: the index rebuilds from
+		// scratch and the tracker must resynchronize through IndexReset.
+		if step%97 == 96 {
+			rep.LoadSnapshot(rep.TakeSnapshot())
+			compare(step)
+		}
+	}
+	if len(inc.Records) == 0 || len(inc.Records) != len(ref.Records) {
+		t.Fatalf("record streams diverged: %d vs %d", len(inc.Records), len(ref.Records))
+	}
+	// The usefulness decisions feed the weight medians; equal weights over a
+	// long mix is strong evidence the O(1) checks match the scans.
+	for i := range inc.Records {
+		if inc.Records[i] != ref.Records[i] {
+			t.Fatalf("record %d diverged: %+v vs %+v", i, inc.Records[i], ref.Records[i])
+		}
+	}
+}
+
+// TestDenomTrackerDownvoteCovers pins the |D| maintenance rules: a downvote
+// consistent with all probable rows counts immediately, a covered one starts
+// counting when its last covering row leaves, and repeat downvotes of one
+// vector carry multiplicity.
+func TestDenomTrackerDownvoteCovers(t *testing.T) {
+	tr := newDenomTracker(2)
+	rowA := &model.Row{ID: "a", Vec: model.VectorOf("x", "1")}
+	tr.ProbableAdded(rowA)
+
+	if consistent := tr.addDownvote(model.VectorOf("x", "")); consistent {
+		t.Fatal("downvote covered by a probable superset must be inconsistent")
+	}
+	if tr.nCons != 0 {
+		t.Fatalf("nCons = %d, want 0", tr.nCons)
+	}
+	if consistent := tr.addDownvote(model.VectorOf("y", "")); !consistent {
+		t.Fatal("uncovered downvote must be consistent")
+	}
+	// Second downvote of the same vector: multiplicity 2.
+	tr.addDownvote(model.VectorOf("y", ""))
+	if tr.nCons != 2 {
+		t.Fatalf("nCons = %d, want 2", tr.nCons)
+	}
+	// rowA leaves: its cover releases the ("x","") downvote.
+	tr.ProbableRemoved(rowA)
+	if tr.nCons != 3 {
+		t.Fatalf("nCons after removal = %d, want 3", tr.nCons)
+	}
+	// rowA returns: covered again.
+	tr.ProbableAdded(rowA)
+	if tr.nCons != 2 {
+		t.Fatalf("nCons after re-add = %d, want 2", tr.nCons)
+	}
+}
+
+// TestDenomTrackerSurplus pins the |U| surplus rule: complete probable rows
+// contribute max(0, up−(umin−1)), tracked through vote updates and removal.
+func TestDenomTrackerSurplus(t *testing.T) {
+	tr := newDenomTracker(2)
+	row := &model.Row{ID: "r", Vec: model.VectorOf("x", "1"), Up: 1}
+	tr.ProbableAdded(row)
+	if tr.sumU != 0 {
+		t.Fatalf("sumU = %d, want 0 (up == umin-1)", tr.sumU)
+	}
+	row.Up = 4
+	tr.ProbableUpdated(row)
+	if tr.sumU != 3 {
+		t.Fatalf("sumU = %d, want 3", tr.sumU)
+	}
+	incomplete := &model.Row{ID: "i", Vec: model.VectorOf("y", ""), Up: 9}
+	tr.ProbableAdded(incomplete)
+	if tr.sumU != 3 {
+		t.Fatalf("incomplete rows must not add surplus: sumU = %d", tr.sumU)
+	}
+	tr.ProbableRemoved(row)
+	if tr.sumU != 0 {
+		t.Fatalf("sumU after removal = %d, want 0", tr.sumU)
+	}
+}

@@ -1,6 +1,8 @@
 package pay
 
 import (
+	"sort"
+
 	"crowdfill/internal/constraint"
 	"crowdfill/internal/model"
 	"crowdfill/internal/sync"
@@ -20,6 +22,13 @@ type Record struct {
 // action will contribute to the final table and (2) a fill contributes both
 // directly and indirectly. Estimates for the weighted schemes start from
 // uniform weights and converge as latency observations accumulate.
+//
+// Estimates are displayed per handled message, so their cost is the server's
+// per-message hot path. Attached to a model.TableIndex (AttachIndex), the
+// estimator maintains its denominator incrementally from probable-set deltas
+// — upvote-surplus and consistent-downvote tallies, exact-vector lookups —
+// so computing an estimate never rescans the probable rows; detached, it
+// falls back to scanning the probable-row slice the caller supplies.
 type Estimator struct {
 	schema *model.Schema
 	score  model.ScoreFunc
@@ -32,16 +41,31 @@ type Estimator struct {
 	lastTS map[string]int64
 	joinTS map[string]int64
 
-	colGaps  [][]float64
-	upGaps   []float64
-	downGaps []float64
+	colGaps  []medianCache
+	upGaps   medianCache
+	downGaps medianCache
 
 	// firstSeen[col][val] is the earliest fill of val into col, for the
-	// dual scheme's key-value ordering.
+	// dual scheme's key-value ordering. seenTimes keeps the same timestamps
+	// sorted ascending so the z fit never re-sorts; zCache memoizes the fit
+	// until a first-appearance time changes.
 	firstSeen []map[string]int64
-	// downvoted stores observed downvote vectors; estD counts those still
-	// consistent with all probable rows.
+	seenTimes [][]int64
+	zCache    []float64
+	zValid    []bool
+
+	// downvoted stores observed downvote vectors for the detached path;
+	// estD counts those still consistent with all probable rows. When a
+	// tracker is attached it owns this bookkeeping (deduplicated).
 	downvoted []model.Vector
+
+	// estC caches the per-column empty-cell counts |C_i| (template-static).
+	estC []int
+
+	// inc, when non-nil, maintains the denominator tallies from TableIndex
+	// deltas; incIdx is the index driving it.
+	inc    *denomTracker
+	incIdx *model.TableIndex
 
 	// Records holds one entry per paid observed worker action, in trace
 	// order. TraceIdx indexes the server's trace (Observe must be called
@@ -63,6 +87,30 @@ type Estimator struct {
 	workerUseful     map[string]int
 }
 
+// medianCache keeps samples sorted as they arrive so the median is O(1) per
+// query instead of copy-and-sort per weight computation.
+type medianCache struct {
+	xs []float64
+}
+
+func (m *medianCache) add(x float64) {
+	i := sort.SearchFloat64s(m.xs, x)
+	m.xs = append(m.xs, 0)
+	copy(m.xs[i+1:], m.xs[i:])
+	m.xs[i] = x
+}
+
+func (m *medianCache) value() float64 {
+	n := len(m.xs)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return m.xs[n/2]
+	}
+	return (m.xs[n/2-1] + m.xs[n/2]) / 2
+}
+
 // NewEstimator returns an estimator for one data-collection run. start is
 // the collection start timestamp.
 func NewEstimator(schema *model.Schema, score model.ScoreFunc, scheme Scheme, budget float64, tmpl constraint.Template, start int64) *Estimator {
@@ -76,12 +124,17 @@ func NewEstimator(schema *model.Schema, score model.ScoreFunc, scheme Scheme, bu
 		start:     start,
 		lastTS:    make(map[string]int64),
 		joinTS:    make(map[string]int64),
-		colGaps:   make([][]float64, schema.NumColumns()),
+		colGaps:   make([]medianCache, schema.NumColumns()),
 		firstSeen: make([]map[string]int64, schema.NumColumns()),
+		seenTimes: make([][]int64, schema.NumColumns()),
+		zCache:    make([]float64, schema.NumColumns()),
+		zValid:    make([]bool, schema.NumColumns()),
+		estC:      make([]int, schema.NumColumns()),
 		PerWorker: make(map[string]float64),
 	}
 	for i := range e.firstSeen {
 		e.firstSeen[i] = make(map[string]int64)
+		e.estC[i] = tmpl.EmptyCellsInColumn(i)
 	}
 	e.workerActions = make(map[string]int)
 	e.workerUseful = make(map[string]int)
@@ -91,6 +144,19 @@ func NewEstimator(schema *model.Schema, score model.ScoreFunc, scheme Scheme, bu
 // TrackPerformance enables per-worker performance scaling of estimates
 // (§5.3's noted refinement). Call before observing any messages.
 func (e *Estimator) TrackPerformance(on bool) { e.trackPerformance = on }
+
+// AttachIndex switches the estimator to incremental denominator maintenance
+// driven by the index's probable-set deltas. Attach right after construction,
+// before any message is observed; the estimator seeds its tallies from the
+// index's current probable set and stays consistent through the deltas.
+func (e *Estimator) AttachIndex(idx *model.TableIndex) {
+	e.inc = newDenomTracker(e.umin)
+	idx.SetDeltaListener(e.inc)
+	for _, r := range idx.Probable() {
+		e.inc.ProbableAdded(r)
+	}
+	e.incIdx = idx
+}
 
 // performanceFactor returns the worker's useful-action rate with a Laplace
 // prior, so new workers start near 1 and spam drags the factor down.
@@ -126,8 +192,20 @@ func (e *Estimator) ObserveProb(m sync.Message, prob []*model.Row) float64 {
 	return e.observe(m, func() []*model.Row { return prob })
 }
 
+// ObserveIndexed is Observe for an estimator attached to a TableIndex via
+// AttachIndex: denominator tallies and usefulness checks come from the
+// incrementally maintained state, so nothing sorts or rescans the probable
+// rows per message.
+func (e *Estimator) ObserveIndexed(m sync.Message) float64 {
+	if e.inc == nil {
+		panic("pay: ObserveIndexed called without AttachIndex")
+	}
+	return e.observe(m, nil)
+}
+
 // observe implements Observe; probFn is called only on paths that need the
-// probable rows, so unpaid CC traffic stays free of table scans.
+// probable rows, so unpaid CC traffic stays free of table scans. With an
+// attached index probFn is never called (and may be nil).
 func (e *Estimator) observe(m sync.Message, probFn func() []*model.Row) float64 {
 	idx := e.observed
 	e.observed++
@@ -138,7 +216,12 @@ func (e *Estimator) observe(m sync.Message, probFn func() []*model.Row) float64 
 			return 0
 		}
 	}
-	prob := probFn()
+	var prob []*model.Row
+	if e.inc != nil {
+		e.incIdx.Version() // flush pending deltas into the tracker
+	} else {
+		prob = probFn()
+	}
 
 	var est float64
 	switch m.Type {
@@ -162,7 +245,19 @@ func (e *Estimator) observe(m sync.Message, probFn func() []*model.Row) float64 
 // absorb folds one observed message into the latency statistics and the
 // per-worker performance counters.
 func (e *Estimator) absorb(m sync.Message, prob []*model.Row) {
-	useful := e.looksUseful(m, prob)
+	// An action is "useful" when it contributes under the same probable-row
+	// heuristics the weight statistics use (§5.3): a fill whose replaced or
+	// constructed row is probable, an upvote on a probable value, a downvote
+	// consistent with every probable row.
+	var useful bool
+	switch m.Type {
+	case sync.MsgReplace:
+		useful = e.fillProbable(m, prob)
+	case sync.MsgUpvote:
+		useful = e.upvoteProbable(m.Vec, prob)
+	case sync.MsgDownvote:
+		useful = e.registerDownvote(m.Vec, prob)
+	}
 	if m.Worker != "" && !(m.Type == sync.MsgUpvote && m.Auto) {
 		e.workerActions[m.Worker]++
 		if useful {
@@ -185,69 +280,88 @@ func (e *Estimator) absorb(m sync.Message, prob []*model.Row) {
 
 	switch m.Type {
 	case sync.MsgReplace:
-		if t, seen := e.firstSeen[m.Col][m.Val]; !seen || m.TS < t {
-			e.firstSeen[m.Col][m.Val] = m.TS
-		}
-		// Count the latency only when the filled row was probable (a proxy
-		// for "contributes to the current probable rows", §5.3). The replica
-		// may be observed before or after the message applied, so accept the
-		// replaced row id or the newly-created one.
-		for _, p := range prob {
-			if p.ID == m.Row || p.ID == m.NewRow {
-				e.colGaps[m.Col] = append(e.colGaps[m.Col], gap)
-				break
-			}
+		e.noteFirstSeen(m.Col, m.Val, m.TS)
+		if useful {
+			e.colGaps[m.Col].add(gap)
 		}
 	case sync.MsgUpvote:
 		if m.Auto {
 			return
 		}
-		for _, p := range prob {
-			if p.Vec.Equal(m.Vec) {
-				e.upGaps = append(e.upGaps, gap)
-				break
-			}
+		if useful {
+			e.upGaps.add(gap)
 		}
 	case sync.MsgDownvote:
-		consistent := true
-		for _, p := range prob {
-			if p.Vec.Superset(m.Vec) {
-				consistent = false
-				break
-			}
+		if useful {
+			e.downGaps.add(gap)
 		}
-		if consistent {
-			e.downGaps = append(e.downGaps, gap)
-		}
-		e.downvoted = append(e.downvoted, m.Vec.Clone())
 	}
 }
 
-// looksUseful approximates whether an action contributes, with the same
-// probable-row heuristics the weight statistics use.
-func (e *Estimator) looksUseful(m sync.Message, prob []*model.Row) bool {
-	switch m.Type {
-	case sync.MsgReplace:
-		for _, p := range prob {
-			if p.ID == m.Row || p.ID == m.NewRow {
-				return true
-			}
+// fillProbable reports whether a replace message touched a probable row (the
+// replaced id or the newly-constructed one — the replica may be observed
+// before or after the message applied).
+func (e *Estimator) fillProbable(m sync.Message, prob []*model.Row) bool {
+	if e.inc != nil {
+		return e.inc.isProbable(m.Row) || e.inc.isProbable(m.NewRow)
+	}
+	for _, p := range prob {
+		if p.ID == m.Row || p.ID == m.NewRow {
+			return true
 		}
-	case sync.MsgUpvote:
-		for _, p := range prob {
-			if p.Vec.Equal(m.Vec) {
-				return true
-			}
-		}
-	case sync.MsgDownvote:
-		for _, p := range prob {
-			if p.Vec.Superset(m.Vec) {
-				return false
-			}
-		}
-		return true
 	}
 	return false
+}
+
+// upvoteProbable reports whether some probable row carries exactly vector v.
+func (e *Estimator) upvoteProbable(v model.Vector, prob []*model.Row) bool {
+	if e.inc != nil {
+		return e.inc.hasVec(v)
+	}
+	for _, p := range prob {
+		if p.Vec.Equal(v) {
+			return true
+		}
+	}
+	return false
+}
+
+// registerDownvote records one observed downvote vector and reports whether
+// it is consistent with every current probable row (no probable superset).
+func (e *Estimator) registerDownvote(v model.Vector, prob []*model.Row) bool {
+	if e.inc != nil {
+		return e.inc.addDownvote(v)
+	}
+	e.downvoted = append(e.downvoted, v.Clone())
+	for _, p := range prob {
+		if p.Vec.Superset(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// noteFirstSeen records the earliest fill of val into col, keeping the
+// per-column first-appearance times sorted and invalidating the cached z fit
+// when they change.
+func (e *Estimator) noteFirstSeen(col int, val string, ts int64) {
+	old, seen := e.firstSeen[col][val]
+	if seen && ts >= old {
+		return
+	}
+	e.firstSeen[col][val] = ts
+	st := e.seenTimes[col]
+	if seen {
+		// Reposition: drop one instance of the old time, insert the new one.
+		i := sort.Search(len(st), func(i int) bool { return st[i] >= old })
+		st = append(st[:i], st[i+1:]...)
+	}
+	i := sort.Search(len(st), func(i int) bool { return st[i] >= ts })
+	st = append(st, 0)
+	copy(st[i+1:], st[i:])
+	st[i] = ts
+	e.seenTimes[col] = st
+	e.zValid[col] = false
 }
 
 // weights returns the current weight estimates (uniform until latency data
@@ -262,7 +376,7 @@ func (e *Estimator) weights() (col []float64, up, down float64) {
 	}
 	var have []float64
 	for i := range col {
-		col[i] = median(e.colGaps[i])
+		col[i] = e.colGaps[i].value()
 		if col[i] > 0 {
 			have = append(have, col[i])
 		}
@@ -276,26 +390,28 @@ func (e *Estimator) weights() (col []float64, up, down float64) {
 			col[i] = fallback
 		}
 	}
-	up = median(e.upGaps)
+	up = e.upGaps.value()
 	if up == 0 {
 		up = fallback
 	}
-	down = median(e.downGaps)
+	down = e.downGaps.value()
 	if down == 0 {
 		down = fallback
 	}
 	return col, up, down
 }
 
-// estimates of the denominators |C|, |U|, |D| (§5.3).
+// estimates of the denominators |C|, |U|, |D| (§5.3). With an attached index
+// the |U| surplus and |D| consistency tallies come from the tracker; the
+// detached path recomputes them from the supplied probable rows.
 func (e *Estimator) counts(prob []*model.Row) (estC []int, estU, estD int) {
-	estC = make([]int, e.schema.NumColumns())
-	for i := range estC {
-		estC[i] = e.tmpl.EmptyCellsInColumn(i)
-	}
+	estC = e.estC
 	// |U|: start with (umin−1)·|T| and grow as probable rows accumulate
 	// more upvotes than needed.
 	estU = (e.umin - 1) * len(e.tmpl.Rows)
+	if e.inc != nil {
+		return estC, estU + e.inc.sumU, e.inc.nCons
+	}
 	for _, p := range prob {
 		if p.Vec.IsComplete() {
 			if extra := p.Up - (e.umin - 1); extra > 0 {
@@ -342,7 +458,7 @@ func (e *Estimator) estimateFill(ci int, prob []*model.Row) float64 {
 	}
 	// Dual-weighted: position the next value at k = seen+1 within the
 	// column's expected |C_i| values, with z fitted to first-appearance gaps.
-	n := e.tmpl.EmptyCellsInColumn(ci)
+	n := e.estC[ci]
 	if n < 2 {
 		return base
 	}
@@ -359,32 +475,29 @@ func (e *Estimator) estimateFill(ci int, prob []*model.Row) float64 {
 }
 
 // fitColumnZ fits z from the gaps between first appearances of distinct
-// values in column ci so far.
+// values in column ci so far. The first-appearance times are maintained in
+// sorted order and the fit is memoized, so displaying an estimate does no
+// per-call sorting.
 func (e *Estimator) fitColumnZ(ci int) float64 {
-	seen := e.firstSeen[ci]
-	if len(seen) < 2 {
-		return 0
+	if e.zValid[ci] {
+		return e.zCache[ci]
 	}
-	times := make([]int64, 0, len(seen))
-	for _, t := range seen {
-		times = append(times, t)
-	}
-	// Sort ascending.
-	for i := 1; i < len(times); i++ {
-		for j := i; j > 0 && times[j] < times[j-1]; j-- {
-			times[j], times[j-1] = times[j-1], times[j]
+	st := e.seenTimes[ci]
+	var z float64
+	if len(st) >= 2 {
+		gaps := make([]float64, len(st))
+		prev := e.start
+		for i, t := range st {
+			gaps[i] = float64(t-prev) / 1e9
+			if gaps[i] < 0 {
+				gaps[i] = 0
+			}
+			prev = t
 		}
+		z = fitZ(gaps)
 	}
-	gaps := make([]float64, len(times))
-	prev := e.start
-	for i, t := range times {
-		gaps[i] = float64(t-prev) / 1e9
-		if gaps[i] < 0 {
-			gaps[i] = 0
-		}
-		prev = t
-	}
-	return fitZ(gaps)
+	e.zCache[ci], e.zValid[ci] = z, true
+	return z
 }
 
 // estimateVote returns the estimated pay for an upvote or downvote.
@@ -408,6 +521,24 @@ func (e *Estimator) Current(rep *sync.Replica) *sync.Estimates {
 // CurrentProb is Current with the probable rows supplied by the caller
 // (typically from an incrementally maintained model.TableIndex).
 func (e *Estimator) CurrentProb(prob []*model.Row) *sync.Estimates {
+	if e.inc != nil {
+		e.incIdx.Version()
+	}
+	return e.currentEstimates(prob)
+}
+
+// CurrentIndexed is Current for an estimator attached to a TableIndex: the
+// denominator comes from the incrementally maintained tallies, so producing
+// the estimate payload is O(columns).
+func (e *Estimator) CurrentIndexed() *sync.Estimates {
+	if e.inc == nil {
+		panic("pay: CurrentIndexed called without AttachIndex")
+	}
+	e.incIdx.Version()
+	return e.currentEstimates(nil)
+}
+
+func (e *Estimator) currentEstimates(prob []*model.Row) *sync.Estimates {
 	out := &sync.Estimates{PerColumn: make([]float64, e.schema.NumColumns())}
 	for i := range out.PerColumn {
 		out.PerColumn[i] = e.estimateFill(i, prob)

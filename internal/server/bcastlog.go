@@ -1,0 +1,293 @@
+package server
+
+import (
+	"errors"
+	gosync "sync"
+
+	"crowdfill/internal/sync"
+)
+
+// bcastLog is the server's sequenced broadcast plane: a bounded in-memory
+// ring of broadcast records. Publishing appends one record per broadcast —
+// O(1) regardless of how many clients are connected — and each connection's
+// writer goroutine advances its own cursor through the log, so the global
+// server mutex never pays per-recipient fan-out costs (the pre-log design
+// materialized one Outbound and one channel send per recipient under the
+// lock).
+//
+// A client that cannot keep up is detected by cursor lag: once the log wraps
+// past a cursor the lost records are unrecoverable, so the cursor fails with
+// errCursorLagged and the connection is torn down (the model requires
+// per-link FIFO, not global blocking — dropping the slow link preserves
+// everyone else's delivery). Writers blocked inside a transport send are
+// evicted from the publishing side via an amortized scan (see evictLagged).
+//
+// Locking: the ring and cursor registry are guarded by an RWMutex. Only
+// publish/evict/stop/close take the write lock; followers drain under the
+// read lock, so hundreds of writers pulling one record cost overlapping
+// shared acquisitions instead of serialized exclusive ones — this is what
+// keeps publish latency flat as the client count grows. A cursor's position
+// is owned by its single follower goroutine (mutated under the read lock;
+// the evictor inspects it under the write lock, which excludes all readers).
+//
+// Wakeups are delegated to a dedicated dispatcher goroutine: publish posts a
+// token on a 1-buffered channel and returns, and the dispatcher performs the
+// O(waiters) cond broadcast off the publisher's critical path.
+type bcastLog struct {
+	mu      gosync.RWMutex
+	cond    *gosync.Cond // waits on mu.RLocker()
+	buf     []bcastRecord
+	head    uint64 // sequence number of the next record to publish
+	closed  bool
+	cursors map[*logCursor]struct{}
+
+	nextEvictScan uint64        // head value that triggers the next lag scan
+	notify        chan struct{} // 1-buffered dispatcher doorbell
+	dispatchDone  chan struct{}
+}
+
+// bcastRecord is one published broadcast: the shared once-encoded message and
+// the origin client to skip (every other connection delivers it).
+type bcastRecord struct {
+	prep    *sync.Prepared
+	exclude string
+}
+
+// defaultLogCapacity matches the depth of the per-connection channels the log
+// replaces: a client may fall this many broadcasts behind before it is
+// considered dead.
+const defaultLogCapacity = 4096
+
+var (
+	errLogClosed     = errors.New("server: broadcast log closed")
+	errCursorLagged  = errors.New("server: client cursor lagged behind broadcast log")
+	errCursorStopped = errors.New("server: cursor stopped")
+)
+
+func newBcastLog(capacity int) *bcastLog {
+	if capacity < 1 {
+		capacity = 1
+	}
+	l := &bcastLog{
+		buf:          make([]bcastRecord, capacity),
+		cursors:      make(map[*logCursor]struct{}),
+		notify:       make(chan struct{}, 1),
+		dispatchDone: make(chan struct{}),
+	}
+	l.cond = gosync.NewCond(l.mu.RLocker())
+	l.nextEvictScan = uint64(capacity)
+	go l.dispatch()
+	return l
+}
+
+// dispatch wakes cursor followers whenever records were published. Taking the
+// write lock before broadcasting closes the check-then-wait race: a follower
+// either observes the new head under its read lock or is already parked in
+// Wait when the broadcast fires.
+func (l *bcastLog) dispatch() {
+	defer close(l.dispatchDone)
+	for range l.notify {
+		l.mu.Lock()
+		l.cond.Broadcast()
+		l.mu.Unlock()
+	}
+}
+
+// publish appends records to the log and rings the dispatcher. O(len(recs))
+// plus an amortized-O(1) lag scan; never blocks on consumers.
+func (l *bcastLog) publish(recs ...bcastRecord) {
+	if len(recs) == 0 {
+		return
+	}
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return
+	}
+	n := uint64(len(l.buf))
+	for _, r := range recs {
+		l.buf[l.head%n] = r
+		l.head++
+	}
+	l.evictLagged()
+	// Ring under the lock: close() also holds it to flip closed before
+	// closing the channel, so a send can never hit a closed doorbell.
+	select {
+	case l.notify <- struct{}{}:
+	default: // a wakeup is already pending; it covers these records too
+	}
+	l.mu.Unlock()
+}
+
+// evictLagged detaches cursors the log has wrapped past, invoking their
+// eviction hooks (asynchronously — hooks close transport connections, which
+// unblocks writers stuck in a send). Scanning every capacity/2 publishes
+// keeps the amortized per-publish cost O(cursors/capacity), i.e. constant
+// for any log at least as large as the client count. Callers hold the write
+// lock.
+func (l *bcastLog) evictLagged() {
+	if l.head < l.nextEvictScan {
+		return
+	}
+	n := uint64(len(l.buf))
+	l.nextEvictScan = l.head + n/2 + 1
+	for c := range l.cursors {
+		if l.head-c.pos > n {
+			c.stopped, c.lagged = true, true
+			delete(l.cursors, c)
+			if c.onEvict != nil {
+				go c.onEvict()
+			}
+		}
+	}
+}
+
+// headSeq returns the sequence number the next published record will get.
+func (l *bcastLog) headSeq() uint64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.head
+}
+
+// close wakes every follower with errLogClosed and stops the dispatcher.
+func (l *bcastLog) close() {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return
+	}
+	l.closed = true
+	l.cond.Broadcast()
+	l.mu.Unlock()
+	close(l.notify)
+	<-l.dispatchDone
+}
+
+// logCursor is one connection's read position in the log. Exactly one
+// follower goroutine calls next/nextBatch/tryNext; stop and the publisher's
+// eviction may race with it safely (pos is only mutated by the owning
+// goroutine under the read lock and only inspected by the evictor under the
+// write lock; stopped/lagged only flip under the write lock).
+type logCursor struct {
+	log     *bcastLog
+	pos     uint64
+	stopped bool
+	lagged  bool
+	onEvict func()
+}
+
+// newCursor registers a cursor at the current head. onEvict, if non-nil, runs
+// (on its own goroutine) when the publishing side detects the cursor lagged.
+func (l *bcastLog) newCursor(onEvict func()) *logCursor {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	c := &logCursor{log: l, pos: l.head, onEvict: onEvict}
+	l.cursors[c] = struct{}{}
+	return c
+}
+
+// nextBatch blocks until at least one record past the cursor exists, then
+// copies up to len(out) of them and advances. Draining in batches keeps lock
+// acquisitions per wakeup O(1) instead of per record.
+func (c *logCursor) nextBatch(out []bcastRecord) (int, error) {
+	l := c.log
+	l.mu.RLock()
+	for {
+		if c.stopped {
+			lagged := c.lagged
+			l.mu.RUnlock()
+			if lagged {
+				return 0, errCursorLagged
+			}
+			return 0, errCursorStopped
+		}
+		n := uint64(len(l.buf))
+		if l.head-c.pos > n {
+			l.mu.RUnlock()
+			c.markLagged()
+			return 0, errCursorLagged
+		}
+		if c.pos < l.head {
+			k := 0
+			for k < len(out) && c.pos < l.head {
+				out[k] = l.buf[c.pos%n]
+				c.pos++
+				k++
+			}
+			l.mu.RUnlock()
+			return k, nil
+		}
+		if l.closed {
+			l.mu.RUnlock()
+			return 0, errLogClosed
+		}
+		l.cond.Wait()
+	}
+}
+
+// next returns the single next record (tests and simple followers).
+func (c *logCursor) next() (bcastRecord, error) {
+	var one [1]bcastRecord
+	_, err := c.nextBatch(one[:])
+	return one[0], err
+}
+
+// tryNext returns the next record without blocking; ok is false when the
+// cursor is at the head.
+func (c *logCursor) tryNext() (bcastRecord, bool, error) {
+	l := c.log
+	l.mu.RLock()
+	if c.stopped {
+		lagged := c.lagged
+		l.mu.RUnlock()
+		if lagged {
+			return bcastRecord{}, false, errCursorLagged
+		}
+		return bcastRecord{}, false, errCursorStopped
+	}
+	n := uint64(len(l.buf))
+	if l.head-c.pos > n {
+		l.mu.RUnlock()
+		c.markLagged()
+		return bcastRecord{}, false, errCursorLagged
+	}
+	if c.pos == l.head {
+		l.mu.RUnlock()
+		return bcastRecord{}, false, nil
+	}
+	rec := l.buf[c.pos%n]
+	c.pos++
+	l.mu.RUnlock()
+	return rec, true, nil
+}
+
+// markLagged detaches a cursor whose follower noticed the log wrapped past it
+// (needs the write lock; the publisher's evictor may have beaten it to the
+// detach, which is fine — the cursor still reports errCursorLagged).
+func (c *logCursor) markLagged() {
+	l := c.log
+	l.mu.Lock()
+	if !c.stopped {
+		c.stopped, c.lagged = true, true
+		delete(l.cursors, c)
+	}
+	l.mu.Unlock()
+}
+
+// stop detaches the cursor and wakes a blocked nextBatch.
+func (c *logCursor) stop() {
+	l := c.log
+	l.mu.Lock()
+	c.stopped = true
+	delete(l.cursors, c)
+	l.cond.Broadcast()
+	l.mu.Unlock()
+}
+
+// lag returns how many records the cursor is behind the head (tests).
+func (c *logCursor) lag() uint64 {
+	l := c.log
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.head - c.pos
+}

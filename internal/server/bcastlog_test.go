@@ -1,0 +1,130 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"crowdfill/internal/sync"
+)
+
+func testRec(i int) bcastRecord {
+	return bcastRecord{prep: sync.NewPrepared(sync.Message{Type: sync.MsgDone, Val: fmt.Sprint(i)})}
+}
+
+func TestBcastLogOrderAndBatching(t *testing.T) {
+	l := newBcastLog(8)
+	defer l.close()
+	cur := l.newCursor(nil)
+	for i := 0; i < 6; i++ {
+		l.publish(testRec(i))
+	}
+	if got := l.headSeq(); got != 6 {
+		t.Fatalf("headSeq = %d, want 6", got)
+	}
+	if got := cur.lag(); got != 6 {
+		t.Fatalf("lag = %d, want 6", got)
+	}
+	out := make([]bcastRecord, 4)
+	seen := 0
+	for _, want := range []int{4, 2} {
+		n, err := cur.nextBatch(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != want {
+			t.Fatalf("batch = %d records, want %d", n, want)
+		}
+		for _, rec := range out[:n] {
+			if got := rec.prep.Message().Val; got != fmt.Sprint(seen) {
+				t.Fatalf("record %d carries %q (out of order)", seen, got)
+			}
+			seen++
+		}
+	}
+	if got := cur.lag(); got != 0 {
+		t.Fatalf("drained cursor lag = %d", got)
+	}
+}
+
+func TestBcastLogStopWakesBlockedReader(t *testing.T) {
+	l := newBcastLog(4)
+	defer l.close()
+	cur := l.newCursor(nil)
+	errc := make(chan error, 1)
+	go func() {
+		_, err := cur.next()
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let the reader park in Wait
+	cur.stop()
+	select {
+	case err := <-errc:
+		if err != errCursorStopped {
+			t.Fatalf("next after stop = %v, want errCursorStopped", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("stop did not wake the blocked reader")
+	}
+}
+
+func TestBcastLogCloseSemantics(t *testing.T) {
+	l := newBcastLog(4)
+	cur := l.newCursor(nil)
+	l.publish(testRec(0))
+	l.close()
+	l.close()             // idempotent
+	l.publish(testRec(1)) // dropped, no panic
+	// Records published before close still drain...
+	rec, err := cur.next()
+	if err != nil || rec.prep.Message().Val != "0" {
+		t.Fatalf("pre-close record: %v, %v", rec.prep, err)
+	}
+	// ...then followers observe closure.
+	if _, err := cur.next(); err != errLogClosed {
+		t.Fatalf("next after close = %v, want errLogClosed", err)
+	}
+}
+
+func TestBcastLogConcurrentFollowers(t *testing.T) {
+	const records, followers = 500, 8
+	l := newBcastLog(records + 1) // nobody can lag out
+	defer l.close()
+	type result struct {
+		vals []string
+		err  error
+	}
+	results := make(chan result, followers)
+	for f := 0; f < followers; f++ {
+		cur := l.newCursor(nil)
+		go func() {
+			var r result
+			buf := make([]bcastRecord, 16)
+			for len(r.vals) < records {
+				n, err := cur.nextBatch(buf)
+				if err != nil {
+					r.err = err
+					break
+				}
+				for _, rec := range buf[:n] {
+					r.vals = append(r.vals, rec.prep.Message().Val)
+				}
+			}
+			results <- r
+		}()
+	}
+	for i := 0; i < records; i++ {
+		l.publish(testRec(i))
+	}
+	for f := 0; f < followers; f++ {
+		r := <-results
+		if r.err != nil {
+			t.Fatalf("follower error: %v", r.err)
+		}
+		for i, v := range r.vals {
+			if v != fmt.Sprint(i) {
+				t.Fatalf("follower saw %q at position %d", v, i)
+			}
+		}
+	}
+}

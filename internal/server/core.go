@@ -70,6 +70,16 @@ type Outbound struct {
 	Prepared *sync.Prepared
 }
 
+// Broadcast is one message addressed to every connected client except
+// Exclude (empty = truly everyone). It is the publish-side unit of the
+// broadcast plane: HandleBroadcast returns a constant number of these per
+// handled message, independent of how many clients are connected, and the
+// transport fans them out through per-connection log cursors.
+type Broadcast struct {
+	Prepared *sync.Prepared
+	Exclude  string // origin client id to skip, if any
+}
+
 // Core is the back-end server state machine. It is NOT safe for concurrent
 // use; network frontends must serialize calls.
 type Core struct {
@@ -93,6 +103,12 @@ type Core struct {
 	// how many handled messages since it went out.
 	lastEstPayload []byte
 	sinceEstBcast  int
+
+	// Late-join snapshot cache: the encoded snapshot is rebuilt only when
+	// the master replica's epoch moved, so a join storm between mutations
+	// takes and encodes one snapshot total instead of one per joiner.
+	snapPrep  *sync.Prepared
+	snapEpoch uint64
 
 	repairOverruns int // times runCC hit the iteration cap without converging
 
@@ -157,6 +173,9 @@ func New(cfg Config) (*Core, error) {
 	c.lastTS = c.start
 	c.est = pay.NewEstimator(cfg.Schema, score, cfg.Scheme, cfg.Budget, cfg.Template, c.start)
 	c.est.TrackPerformance(cfg.TrackPerformance)
+	// Incremental mode: the estimator's denominator tallies follow the
+	// index's probable-set deltas instead of rescanning probable rows.
+	c.est.AttachIndex(c.index)
 
 	// §4.2 initialization: populate the table with the template rows,
 	// upvoting complete ones, then repair until stable.
@@ -265,9 +284,16 @@ func (c *Core) AddClient(clientID, workerID string) []Outbound {
 		c.joinTime[workerID] = now
 	}
 	c.est.Join(workerID, now)
+	// Snapshots are immutable to receivers (LoadSnapshot deep-copies rows),
+	// so one epoch-tagged Prepared serves every joiner until the table moves
+	// again; a join storm encodes the table once, not once per joiner.
+	if c.snapPrep == nil || c.snapEpoch != c.master.Epoch() {
+		c.snapEpoch = c.master.Epoch()
+		c.snapPrep = sync.NewPrepared(sync.Message{Type: sync.MsgSnapshot, Snapshot: c.master.TakeSnapshot()})
+	}
 	out := []Outbound{
-		{To: clientID, Msg: sync.Message{Type: sync.MsgSnapshot, Snapshot: c.master.TakeSnapshot()}},
-		{To: clientID, Msg: sync.Message{Type: sync.MsgEstimate, Estimates: c.est.CurrentProb(c.index.Probable())}},
+		{To: clientID, Msg: c.snapPrep.Message(), Prepared: c.snapPrep},
+		{To: clientID, Msg: sync.Message{Type: sync.MsgEstimate, Estimates: c.est.CurrentIndexed()}},
 	}
 	if c.done {
 		out = append(out, Outbound{To: clientID, Msg: sync.Message{Type: sync.MsgDone}})
@@ -281,12 +307,15 @@ func (c *Core) RemoveClient(clientID string) {
 	c.sortedIDs = nil
 }
 
-// Handle processes one message from a client: it stamps it, applies it to
-// the master table, records it in the trace, lets the Central Client repair
-// the PRI, recomputes estimates, checks completion, and returns everything
-// to deliver (the message to all other clients, CC messages and updated
-// estimates to everyone, and MsgDone when collection finishes).
-func (c *Core) Handle(clientID string, m sync.Message) ([]Outbound, error) {
+// HandleBroadcast processes one message from a client: it stamps it, applies
+// it to the master table, records it in the trace, lets the Central Client
+// repair the PRI, recomputes estimates, checks completion, and returns the
+// broadcasts to publish (the message to all other clients, CC messages and
+// updated estimates to everyone, and MsgDone when collection finishes). The
+// result size depends only on the CC's repair work — never on the number of
+// connected clients — which is what lets the network layer publish in O(1)
+// into the sequenced log.
+func (c *Core) HandleBroadcast(clientID string, m sync.Message) ([]Broadcast, error) {
 	if c.done {
 		return nil, nil // late messages after completion are dropped
 	}
@@ -310,45 +339,43 @@ func (c *Core) Handle(clientID string, m sync.Message) ([]Outbound, error) {
 	c.trace = append(c.trace, m)
 	// The estimate shown for this action; observed post-apply (the worker
 	// computed theirs against an equally slightly-stale local view).
-	c.est.ObserveProb(m, c.index.Probable())
+	c.est.ObserveIndexed(m)
 
 	ccMsgs := c.runCC()
 	c.checkDone()
 
-	// Broadcast in sorted client order so delivery scheduling (and anything
-	// else consuming the outbound list) is deterministic. Each broadcast
-	// group shares one Prepared, so transports encode it once total.
-	ids := c.sortedClientIDs()
-	estP := c.estimateBroadcast()
-	size := len(ids) * (1 + len(ccMsgs))
-	if estP != nil {
-		size += len(ids)
-	}
-	if c.done {
-		size += len(ids)
-	}
-	out := make([]Outbound, 0, size)
-	mp := sync.NewPrepared(m)
-	for _, id := range ids {
-		if id != clientID {
-			out = append(out, Outbound{To: id, Msg: m, Prepared: mp})
-		}
-	}
+	out := make([]Broadcast, 0, 3+len(ccMsgs))
+	out = append(out, Broadcast{Prepared: sync.NewPrepared(m), Exclude: clientID})
 	for _, cm := range ccMsgs {
-		cp := sync.NewPrepared(cm)
-		for _, id := range ids {
-			out = append(out, Outbound{To: id, Msg: cm, Prepared: cp})
-		}
+		out = append(out, Broadcast{Prepared: sync.NewPrepared(cm)})
 	}
-	if estP != nil {
-		for _, id := range ids {
-			out = append(out, Outbound{To: id, Msg: estP.Message(), Prepared: estP})
-		}
+	if estP := c.estimateBroadcast(); estP != nil {
+		out = append(out, Broadcast{Prepared: estP})
 	}
 	if c.done {
-		dp := sync.NewPrepared(sync.Message{Type: sync.MsgDone})
+		out = append(out, Broadcast{Prepared: sync.NewPrepared(sync.Message{Type: sync.MsgDone})})
+	}
+	return out, nil
+}
+
+// Handle processes one client message like HandleBroadcast and expands the
+// broadcasts into per-recipient Outbound values in sorted client order. This
+// materialized form is the executable spec of delivery — the simulation
+// harness consumes it directly, and tests assert the sequenced-log transport
+// delivers byte-identical per-client sequences.
+func (c *Core) Handle(clientID string, m sync.Message) ([]Outbound, error) {
+	bcasts, err := c.HandleBroadcast(clientID, m)
+	if err != nil || len(bcasts) == 0 {
+		return nil, err
+	}
+	ids := c.sortedClientIDs()
+	out := make([]Outbound, 0, len(bcasts)*len(ids))
+	for _, b := range bcasts {
+		msg := b.Prepared.Message()
 		for _, id := range ids {
-			out = append(out, Outbound{To: id, Msg: dp.Message(), Prepared: dp})
+			if id != b.Exclude {
+				out = append(out, Outbound{To: id, Msg: msg, Prepared: b.Prepared})
+			}
 		}
 	}
 	return out, nil
@@ -365,7 +392,7 @@ func (c *Core) estimateBroadcast() *sync.Prepared {
 	c.sinceEstBcast++
 	p := sync.NewPrepared(sync.Message{
 		Type:      sync.MsgEstimate,
-		Estimates: c.est.CurrentProb(c.index.Probable()),
+		Estimates: c.est.CurrentIndexed(),
 	})
 	interval := c.cfg.EstimateInterval
 	if interval <= 0 {

@@ -6,6 +6,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"crowdfill/internal/client"
 	"crowdfill/internal/constraint"
@@ -477,21 +478,41 @@ func TestNetServerAccessorsAndSlowClient(t *testing.T) {
 	if ns.Core() != core {
 		t.Fatalf("Core accessor wrong")
 	}
-	// Route to a congested client: the server drops it rather than stall.
-	ns.mu.Lock()
-	cc := &clientConn{ch: make(chan *sync.Prepared)} // unbuffered: instantly "full"
-	ns.conns["slow"] = cc
-	core.AddClient("slow", "w-slow")
-	ns.mu.Unlock()
-	ns.route([]Outbound{{To: "slow", Msg: sync.Message{Type: sync.MsgDone}}})
-	ns.mu.Lock()
-	_, still := ns.conns["slow"]
-	ns.mu.Unlock()
-	if still {
-		t.Fatalf("congested client should have been dropped")
+	// Swap in a tiny log so cursor lag triggers quickly.
+	ns.Shutdown()
+	ns.log = newBcastLog(4)
+	defer ns.log.close()
+
+	evicted := make(chan struct{})
+	slow := ns.log.newCursor(func() { close(evicted) })
+	fast := ns.log.newCursor(nil)
+	rec := bcastRecord{prep: sync.NewPrepared(sync.Message{Type: sync.MsgDone})}
+	for i := 0; i < 16; i++ {
+		ns.log.publish(rec)
+		for {
+			if _, ok, err := fast.tryNext(); err != nil || !ok {
+				break
+			}
+		}
 	}
-	// Routing to an unknown client is a no-op.
-	ns.route([]Outbound{{To: "ghost", Msg: sync.Message{Type: sync.MsgDone}}})
+	// The stalled cursor is evicted from the publishing side...
+	select {
+	case <-evicted:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("stalled cursor was not evicted by the publisher")
+	}
+	// ...and its own next() reports the lag, while the fast cursor is fine.
+	if _, err := slow.next(); err != errCursorLagged {
+		t.Fatalf("lagged cursor next() = %v, want errCursorLagged", err)
+	}
+	if _, ok, err := fast.tryNext(); err != nil || ok {
+		t.Fatalf("fast cursor tryNext() = %v, %v; want drained and live", ok, err)
+	}
+	// Closing the log fails followers with errLogClosed.
+	ns.log.close()
+	if _, err := fast.next(); err != errLogClosed {
+		t.Fatalf("next() after close = %v, want errLogClosed", err)
+	}
 }
 
 func TestNetServerHandlerRejectsMissingWorker(t *testing.T) {

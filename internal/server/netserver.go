@@ -15,27 +15,21 @@ import (
 // NetServer exposes a Core over WebSocket connections: the live back-end
 // server (§3.3). Workers connect with ?worker=<id>; each connection becomes
 // one client of the formal model, with its own reliable in-order link.
+//
+// Delivery runs through a sequenced broadcast log instead of per-connection
+// queues: handling a message publishes a constant number of records
+// (HandleBroadcast's result) and returns, and each connection's writer
+// goroutine follows the log with its own cursor, encoding payloads off the
+// server lock. A client that cannot keep up is detected by cursor lag — the
+// log wrapping past it — and disconnected, which preserves everyone else's
+// per-link FIFO delivery without per-recipient work on the hot path.
 type NetServer struct {
 	mu     gosync.Mutex
 	core   *Core
-	conns  map[string]*clientConn
+	log    *bcastLog
 	nextID int64
 	logf   func(format string, args ...any)
 }
-
-// clientConn is one connection's outbound queue. The queue carries prepared
-// messages so a broadcast enqueues the same shared encoding everywhere. The
-// channel has two potential closers — the serving goroutine on connection
-// teardown and route() on queue overflow — so closing goes through a
-// gosync.Once: whichever path runs first wins and the other is a no-op
-// (previously an overflow followed by teardown double-closed and panicked).
-type clientConn struct {
-	ch        chan *sync.Prepared
-	closeOnce gosync.Once
-}
-
-// shutdown closes the outbound queue exactly once.
-func (cc *clientConn) shutdown() { cc.closeOnce.Do(func() { close(cc.ch) }) }
 
 // NewNetServer wraps a Core for network serving. logf may be nil to discard
 // logs.
@@ -43,7 +37,7 @@ func NewNetServer(core *Core, logf func(string, ...any)) *NetServer {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	return &NetServer{core: core, conns: make(map[string]*clientConn), logf: logf}
+	return &NetServer{core: core, log: newBcastLog(defaultLogCapacity), logf: logf}
 }
 
 // Handler returns the HTTP handler performing WebSocket upgrades. The worker
@@ -71,78 +65,108 @@ func (s *NetServer) ServeConn(conn transport.Conn, worker string) {
 
 func (s *NetServer) serve(conn transport.Conn, worker string) {
 	clientID := fmt.Sprintf("net-%05d", atomic.AddInt64(&s.nextID, 1))
-	cc := &clientConn{ch: make(chan *sync.Prepared, 4096)}
 
+	// Registering the client and opening the cursor under one lock pins the
+	// join point in the sequence: the snapshot reflects every record before
+	// the cursor, and the cursor sees every record after it — no gap, no
+	// duplicate.
 	s.mu.Lock()
-	s.conns[clientID] = cc
-	outbound := s.core.AddClient(clientID, worker)
+	private := s.core.AddClient(clientID, worker)
+	cur := s.log.newCursor(func() {
+		// Eviction hook (publisher side, own goroutine): closing the
+		// transport unblocks a writer stuck mid-send and fails the reader's
+		// Recv, so both halves tear down even though the slow client never
+		// drains another byte.
+		s.logf("crowdfill: client %s lagged behind broadcast log, dropping connection", clientID)
+		conn.Close()
+	})
 	s.mu.Unlock()
 
-	// Writer goroutine: drains this client's outbound queue.
+	// Writer goroutine: sends the private join messages, then follows the
+	// log. Payload encoding happens here — off the server lock — and the
+	// shared Prepared makes it once per broadcast across all writers.
 	var wg gosync.WaitGroup
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		for p := range cc.ch {
+		// On any exit, close the transport: the reader loop below is blocked
+		// in Recv and must observe the failure (previously an overflow-
+		// dropped client's reader kept feeding a defunct connection).
+		defer conn.Close()
+		for _, o := range private {
+			p := o.Prepared
+			if p == nil {
+				p = sync.NewPrepared(o.Msg)
+			}
 			if err := conn.SendPrepared(p); err != nil {
 				s.logf("crowdfill: send to %s: %v", clientID, err)
 				return
 			}
 		}
+		batch := make([]bcastRecord, 64)
+		for {
+			n, err := cur.nextBatch(batch)
+			if err != nil {
+				if err == errCursorLagged {
+					s.logf("crowdfill: client %s cursor lagged, dropping connection", clientID)
+				}
+				return
+			}
+			for _, rec := range batch[:n] {
+				if rec.exclude == clientID {
+					continue
+				}
+				if err := conn.SendPrepared(rec.prep); err != nil {
+					s.logf("crowdfill: send to %s: %v", clientID, err)
+					return
+				}
+			}
+		}
 	}()
-	s.route(outbound)
 
 	for {
 		m, err := conn.Recv()
 		if err != nil {
 			break
 		}
-		s.mu.Lock()
-		out, herr := s.core.Handle(clientID, m)
-		s.mu.Unlock()
-		if herr != nil {
+		if herr := s.handleAndPublish(clientID, m); herr != nil {
 			s.logf("crowdfill: client %s message rejected: %v", clientID, herr)
-			continue
 		}
-		s.route(out)
 	}
 
 	s.mu.Lock()
 	s.core.RemoveClient(clientID)
-	delete(s.conns, clientID)
 	s.mu.Unlock()
-	cc.shutdown()
+	cur.stop()
 	wg.Wait()
 	conn.Close()
 }
 
-// route delivers outbound messages to the per-connection queues. Broadcast
-// entries share one Prepared, so the JSON encoding and WebSocket frame are
-// built once regardless of fan-out. A client that cannot keep up (full queue)
-// is disconnected rather than allowed to stall everyone (the model requires
-// per-link FIFO, not global blocking).
-func (s *NetServer) route(out []Outbound) {
+// handleAndPublish runs one inbound message through the core and publishes
+// the resulting broadcasts into the log. The lock is held for the core
+// transition plus an O(len(records)) append — no per-recipient work.
+func (s *NetServer) handleAndPublish(clientID string, m sync.Message) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for _, o := range out {
-		cc, ok := s.conns[o.To]
-		if !ok {
-			continue
-		}
-		p := o.Prepared
-		if p == nil {
-			p = sync.NewPrepared(o.Msg)
-		}
-		select {
-		case cc.ch <- p:
-		default:
-			s.logf("crowdfill: client %s queue overflow, dropping connection", o.To)
-			delete(s.conns, o.To)
-			s.core.RemoveClient(o.To)
-			cc.shutdown()
-		}
+	bcasts, err := s.core.HandleBroadcast(clientID, m)
+	if err != nil {
+		return err
 	}
+	if len(bcasts) == 0 {
+		return nil
+	}
+	recs := make([]bcastRecord, len(bcasts))
+	for i, b := range bcasts {
+		recs[i] = bcastRecord{prep: b.Prepared, exclude: b.Exclude}
+	}
+	s.log.publish(recs...)
+	return nil
 }
+
+// Shutdown closes the broadcast plane: every connection's writer wakes with
+// errLogClosed and tears its transport down, and the log's dispatcher
+// goroutine exits. Further publishes are dropped.
+func (s *NetServer) Shutdown() { s.log.close() }
 
 // Done reports whether the collection finished (thread-safe).
 func (s *NetServer) Done() bool {

@@ -225,11 +225,12 @@ func TestNetServerOverPipes(t *testing.T) {
 	}
 }
 
-// TestSlowClientOverflowDisconnect fills a slow client's 4096-message queue
-// through the real serve/route path: the client is dropped, the remaining
-// clients still converge, and the later connection teardown must not
-// double-close the dropped client's queue (a panic before the close became
-// once-guarded).
+// TestSlowClientOverflowDisconnect stalls one client while traffic flows
+// through the real serve/publish path: the broadcast log wraps past the
+// stalled connection's cursor, the publisher evicts it (closing its transport,
+// which unblocks its writer and fails its reader — the whole connection tears
+// down, not just the writer half), and the remaining clients still converge.
+// Closing the client's own end afterwards must be a clean no-op.
 func TestSlowClientOverflowDisconnect(t *testing.T) {
 	s := kvSchema(t)
 	core, err := New(Config{
@@ -245,8 +246,8 @@ func TestSlowClientOverflowDisconnect(t *testing.T) {
 	ns := NewNetServer(core, t.Logf)
 
 	// The slow client connects and never reads: a tiny pipe buffer blocks
-	// its writer goroutine almost immediately, so broadcasts pile into the
-	// server-side queue.
+	// its writer goroutine almost immediately, so its log cursor stops
+	// advancing while broadcasts keep being published.
 	slowSrv, slowCli := transport.Pipe(1)
 	go ns.ServeConn(slowSrv, "w-slow")
 
@@ -383,9 +384,9 @@ func TestSlowClientOverflowDisconnect(t *testing.T) {
 	}
 	waitFor(t, func() bool { return ns.Done() })
 
-	// Tear the slow connection down for real: its serve goroutine runs the
-	// same shutdown the overflow path already ran. Before the once-guard
-	// this was a double close and crashed the whole server process.
+	// Tear the slow connection down for real: its serve goroutine already
+	// ran the eviction teardown, so this second close must be a no-op
+	// rather than a crash.
 	slowCli.Close()
 	time.Sleep(50 * time.Millisecond) // give a would-be panic time to fire
 

@@ -19,6 +19,7 @@ type Replica struct {
 	uh     *VoteHist
 	dh     *VoteHist
 	obs    TableObserver
+	epoch  uint64
 }
 
 // TableObserver receives fine-grained change notifications as messages are
@@ -189,10 +190,21 @@ func (r *Replica) UndoDownvote(v model.Vector) (Message, error) {
 	return m, nil
 }
 
+// Epoch returns a counter that increases whenever the replica's state
+// changes (any applied mutating message or snapshot load). Cheap change
+// detection for snapshot caching: equal epochs imply identical state.
+func (r *Replica) Epoch() uint64 { return r.epoch }
+
 // Apply processes a message received from the server or a client (paper
 // §2.4 "Processing received messages"). Snapshot, done and estimate messages
 // mutate nothing here.
 func (r *Replica) Apply(m Message) error {
+	switch m.Type {
+	case MsgInsert, MsgReplace, MsgUpvote, MsgDownvote, MsgUnupvote, MsgUndownvote:
+		// Votes on vectors no row carries still mutate the histories, so any
+		// message reaching the switch below dirties the state.
+		r.epoch++
+	}
 	switch m.Type {
 	case MsgInsert:
 		if m.Row == "" {
@@ -324,6 +336,7 @@ func (r *Replica) TakeSnapshot() *Snapshot {
 
 // LoadSnapshot replaces the replica's entire state with the snapshot.
 func (r *Replica) LoadSnapshot(s *Snapshot) {
+	r.epoch++
 	r.table = model.NewCandidate(r.schema)
 	for i := range s.Rows {
 		row := s.Rows[i].Clone()

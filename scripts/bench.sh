@@ -1,15 +1,22 @@
 #!/bin/sh
-# Runs the hot-path and experiment benchmarks and writes BENCH_fanout.json
-# with the server fan-out numbers (the scaling acceptance metric).
+# Runs the hot-path and experiment benchmarks and writes the scaling
+# acceptance metrics: BENCH_fanout.json (end-to-end server fan-out) and
+# BENCH_broadcast.json (per-message handle+publish cost on the broadcast log,
+# with allocations).
 set -eu
 cd "$(dirname "$0")/.."
 
 OUT=BENCH_fanout.json
+BOUT=BENCH_broadcast.json
 RAW=$(mktemp)
-trap 'rm -f "$RAW"' EXIT
+BRAW=$(mktemp)
+trap 'rm -f "$RAW" "$BRAW"' EXIT
 
 echo "== server fan-out =="
-go test -run '^$' -bench 'BenchmarkAblationServerFanout' -benchtime "${FANOUT_BENCHTIME:-5x}" . | tee "$RAW"
+go test -run '^$' -bench 'BenchmarkAblationServerFanout' -benchmem -benchtime "${FANOUT_BENCHTIME:-10x}" . | tee "$RAW"
+
+echo "== broadcast handle+publish =="
+go test -run '^$' -bench 'BenchmarkBroadcastHandlePublish' -benchmem -benchtime "${BROADCAST_BENCHTIME:-10000x}" ./internal/server/ | tee "$BRAW"
 
 echo "== probable rows =="
 go test -run '^$' -bench 'BenchmarkProbable' -benchtime "${PROBABLE_BENCHTIME:-20x}" ./internal/constraint/
@@ -17,14 +24,29 @@ go test -run '^$' -bench 'BenchmarkProbable' -benchtime "${PROBABLE_BENCHTIME:-2
 echo "== experiments E1-E6 =="
 go test -run '^$' -bench 'BenchmarkE[1-6]' -benchtime 1x .
 
-awk '
-/^BenchmarkAblationServerFanout\// {
+# go test -benchmem rows interleave values with their units (and benchmarks
+# may report extra custom metrics, shifting columns), so pick each value by
+# the unit that follows it rather than by position.
+extract() {
+    awk -v bench="$2" '
+$1 ~ "^" bench "/" {
     split($1, parts, "=")
     sub(/-.*/, "", parts[2])
+    ns = allocs = "null"
+    for (i = 3; i < NF; i++) {
+        if ($(i+1) == "ns/op") ns = $i
+        if ($(i+1) == "allocs/op") allocs = $i
+    }
     if (n++) printf ",\n"
-    printf "  {\"clients\": %s, \"ns_per_op\": %s}", parts[2], $3
+    printf "  {\"clients\": %s, \"ns_per_op\": %s, \"allocs_per_op\": %s}", parts[2], ns, allocs
 }
 BEGIN { printf "[\n" }
 END   { printf "\n]\n" }
-' "$RAW" > "$OUT"
+' "$1"
+}
+
+extract "$RAW" BenchmarkAblationServerFanout > "$OUT"
 echo "wrote $OUT"
+
+extract "$BRAW" BenchmarkBroadcastHandlePublish > "$BOUT"
+echo "wrote $BOUT"
