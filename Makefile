@@ -1,6 +1,10 @@
 GO ?= go
 
-.PHONY: build test race vet verify bench
+# Short budgets keep the fuzz smoke inside the tier-1 time envelope; nightly
+# or local deep runs override, e.g. `make fuzz-smoke FUZZTIME=5m`.
+FUZZTIME ?= 10s
+
+.PHONY: build test race vet lint fuzz-smoke verify bench
 
 build:
 	$(GO) build ./...
@@ -14,8 +18,22 @@ vet:
 race:
 	$(GO) test -race ./...
 
-# verify is the tier-1 gate plus static analysis and the race detector.
-verify: build vet test race
+# lint runs the crowdfill-lint invariant suite (internal/analysis) over the
+# whole module: publishedmut, lockscope, msgfield everywhere; simdet on the
+# simulation packages.
+lint:
+	$(GO) run ./cmd/crowdfill-lint
+
+# fuzz-smoke gives each native fuzz target a short budget on top of its
+# committed testdata/fuzz corpus (which plain `go test` already replays).
+fuzz-smoke:
+	$(GO) test ./internal/wsock -fuzz FuzzFrameParse -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/wsock -fuzz FuzzFrameRoundTrip -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/sync -fuzz FuzzMessageDecode -fuzztime $(FUZZTIME)
+
+# verify is the tier-1 gate plus static analysis, the invariant suite, the
+# race detector, and a short fuzz smoke.
+verify: build vet lint test race fuzz-smoke
 
 # bench runs the hot-path benchmarks (server fan-out, probable-row scan) and
 # the paper's E1-E6 experiment benchmarks, writing BENCH_fanout.json.

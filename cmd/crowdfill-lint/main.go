@@ -1,0 +1,124 @@
+// Command crowdfill-lint runs the internal/analysis invariant suite over the
+// module: publishedmut, lockscope and msgfield on every package, simdet on
+// the simulation packages. It is the static half of `make verify`.
+//
+// Usage:
+//
+//	crowdfill-lint [-list] [import-path ...]
+//
+// With no arguments every buildable package in the module is checked.
+// Findings print as file:line:col: [analyzer] message, and the exit status
+// is 1 if any finding survives //lint:allow filtering.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"crowdfill/internal/analysis"
+	"crowdfill/internal/analysis/lockscope"
+	"crowdfill/internal/analysis/msgfield"
+	"crowdfill/internal/analysis/publishedmut"
+	"crowdfill/internal/analysis/simdet"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: crowdfill-lint [-list] [import-path ...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := []*analysis.Analyzer{
+		publishedmut.New(),
+		lockscope.New(),
+		msgfield.New(),
+		simdet.New(),
+	}
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	n, err := run(analyzers, flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crowdfill-lint:", err)
+		os.Exit(2)
+	}
+	if n > 0 {
+		fmt.Fprintf(os.Stderr, "crowdfill-lint: %d finding(s)\n", n)
+		os.Exit(1)
+	}
+}
+
+// run analyzes the requested packages (all module packages when paths is
+// empty) and returns the number of findings printed.
+func run(analyzers []*analysis.Analyzer, paths []string) (int, error) {
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		return 0, err
+	}
+	if len(paths) == 0 {
+		paths, err = loader.ModulePackages()
+		if err != nil {
+			return 0, err
+		}
+	}
+
+	// simdet's determinism rules only bind inside the simulation harness.
+	simPkgs := make(map[string]bool, len(simdet.DefaultPackages))
+	for _, p := range simdet.DefaultPackages {
+		simPkgs[p] = true
+	}
+
+	findings := 0
+	emit := func(name string, d analysis.Diagnostic) {
+		pos := loader.Fset.Position(d.Pos)
+		file := pos.Filename
+		if rel, err := filepath.Rel(loader.ModRoot(), file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = rel
+		}
+		fmt.Printf("%s:%d:%d: [%s] %s\n", file, pos.Line, pos.Column, name, d.Message)
+		findings++
+	}
+
+	for _, path := range paths {
+		pkg, err := loader.LoadImportPath(path)
+		if err != nil {
+			return findings, fmt.Errorf("load %s: %w", path, err)
+		}
+		allows := analysis.CollectAllows(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			if a.Name == "simdet" && !simPkgs[path] {
+				continue
+			}
+			diags, err := analysis.RunAnalyzer(a, pkg)
+			if err != nil {
+				return findings, err
+			}
+			kept, extras := analysis.Filter(pkg.Fset, allows, a.Name, diags)
+			for _, d := range kept {
+				emit(a.Name, d)
+			}
+			for _, d := range extras {
+				emit(a.Name, d)
+			}
+		}
+	}
+
+	// Cross-package contracts (msgfield's accept-vs-replay comparison) fire
+	// once the whole module has been seen. Finish findings are contract
+	// breaks between packages and have no //lint:allow escape hatch.
+	for _, a := range analyzers {
+		if a.Finish != nil {
+			a.Finish(func(d analysis.Diagnostic) { emit(a.Name, d) })
+		}
+	}
+	return findings, nil
+}

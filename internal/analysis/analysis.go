@@ -1,0 +1,90 @@
+// Package analysis is a small, dependency-free analogue of
+// golang.org/x/tools/go/analysis: just enough framework to express
+// CrowdFill's source-level invariants as typed AST checks and drive them
+// from one multichecker binary (cmd/crowdfill-lint) and from analysistest
+// suites. The container this repo builds in has no module proxy access, so
+// the framework is built entirely on go/ast, go/parser, go/types and the
+// standard library's source importer.
+//
+// The shape mirrors x/tools on purpose — Analyzer{Name, Doc, Run},
+// Pass{Fset, Files, Pkg, TypesInfo, Report} — so the suite could be ported
+// to the real framework by swapping imports if a vendored x/tools ever
+// lands.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one source-level invariant check.
+type Analyzer struct {
+	// Name identifies the analyzer in output and in //lint:allow directives.
+	Name string
+	// Doc is a one-paragraph description of the invariant the analyzer
+	// guards (shown by crowdfill-lint -help).
+	Doc string
+	// Run inspects one package and reports findings through pass.Report.
+	Run func(pass *Pass) error
+	// Finish, if non-nil, runs once after every package has been analyzed.
+	// Cross-package contracts (e.g. msgfield's server↔replay message-set
+	// comparison) report their findings here.
+	Finish func(report func(Diagnostic))
+}
+
+// Pass carries one package's parsed and type-checked state to an analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report records one finding.
+	Report func(Diagnostic)
+}
+
+// Reportf formats and reports a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// RunAnalyzer executes one analyzer over a loaded package and returns its
+// raw diagnostics (before //lint:allow filtering), sorted by position.
+func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.TypesInfo,
+		Report:    func(d Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+	}
+	sortDiags(pkg.Fset, diags)
+	return diags, nil
+}
+
+func sortDiags(fset *token.FileSet, diags []Diagnostic) {
+	sort.SliceStable(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Column < pj.Column
+	})
+}

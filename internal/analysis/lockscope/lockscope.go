@@ -1,0 +1,439 @@
+// Package lockscope guards the broadcast plane's lock discipline (DESIGN.md
+// §8): publish latency stays flat only because nothing blocking ever runs
+// inside the critical sections of server.bcastLog.mu and NetServer.mu — no
+// channel operations, no transport sends, no JSON encoding of whole
+// replicas, no Logf calls that may block on I/O — and because locks are only
+// ever acquired in the NetServer.mu → bcastLog.mu order (the reverse order
+// deadlocks against the publish path).
+//
+// The analysis is intraprocedural: it tracks Lock/RLock/Unlock/RUnlock and
+// defer-Unlock on sync.Mutex/RWMutex fields through each function body
+// (branches analyzed with a copy of the lock state), flags blocking
+// operations while a guarded lock is held, and models the lock footprint of
+// the broadcast-plane methods themselves (bcastLog.publish acquires
+// bcastLog.mu, NetServer.handleAndPublish acquires NetServer.mu, ...) so
+// ordering violations show up at call sites, not just at literal mu.Lock()
+// lines. sync.Cond.Wait is exempt: it releases the lock while parked and is
+// the designed follower wait. Function literals are skipped — a closure
+// built under a lock does not run under it.
+package lockscope
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"crowdfill/internal/analysis"
+)
+
+// guardedOwners are the struct types (by name) whose critical sections must
+// stay non-blocking. Other mutexes in the codebase (wsock.Conn.wmu
+// serializing frame writers, marketplace ledgers) legitimately cover I/O and
+// are tracked only for ordering.
+var guardedOwners = map[string]bool{
+	"NetServer": true,
+	"bcastLog":  true,
+	"Core":      true,
+	"Replica":   true,
+}
+
+// allowedOrder lists the sanctioned nested-acquisition pairs: outer → inner.
+var allowedOrder = map[[2]string]bool{
+	{"NetServer", "bcastLog"}: true,
+}
+
+// acquires models the lock footprint of broadcast-plane methods, keyed by
+// receiver type name then method name, valued by the owner type of the
+// mutex the method acquires.
+var acquires = map[string]map[string]string{
+	"bcastLog": {
+		"publish": "bcastLog", "newCursor": "bcastLog", "close": "bcastLog",
+		"headSeq": "bcastLog",
+	},
+	"logCursor": {
+		"nextBatch": "bcastLog", "next": "bcastLog", "tryNext": "bcastLog",
+		"markLagged": "bcastLog", "stop": "bcastLog", "lag": "bcastLog",
+	},
+	"NetServer": {
+		"handleAndPublish": "NetServer", "Done": "NetServer", "WithCore": "NetServer",
+	},
+}
+
+// blockingConnMethods are methods that perform (or wait on) I/O when called
+// on a connection-like receiver (a type named Conn).
+var blockingConnMethods = map[string]bool{
+	"Send": true, "SendPrepared": true, "Recv": true,
+	"Read": true, "Write": true, "ReadText": true, "WriteText": true,
+}
+
+// New returns the lockscope analyzer.
+func New() *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "lockscope",
+		Doc: "flags blocking operations (channel ops, transport sends, JSON " +
+			"encoding, Logf) inside bcastLog.mu/NetServer.mu critical sections " +
+			"and enforces the NetServer.mu → bcastLog.mu lock ordering",
+		Run: run,
+	}
+}
+
+// held is one live lock acquisition.
+type held struct {
+	obj   types.Object // the mutex field/var, when resolvable
+	owner string       // name of the struct type owning the mutex ("" for locals)
+	pos   token.Pos
+}
+
+type checker struct {
+	pass *analysis.Pass
+}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{pass: pass}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				c.walkStmts(fd.Body.List, &[]held{})
+			}
+		}
+	}
+	return nil
+}
+
+func (c *checker) walkStmts(stmts []ast.Stmt, state *[]held) {
+	for _, s := range stmts {
+		c.walkStmt(s, state)
+	}
+}
+
+// clone copies the lock state for a branch: acquisitions and releases inside
+// a conditional do not propagate to the statements after it (branches in
+// this codebase that unlock early always return).
+func clone(state *[]held) *[]held {
+	cp := append([]held(nil), *state...)
+	return &cp
+}
+
+func (c *checker) walkStmt(s ast.Stmt, state *[]held) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok && c.mutexOp(call, state) {
+			return
+		}
+		c.scan(s, state)
+	case *ast.DeferStmt:
+		if c.isUnlockCall(s.Call) {
+			return // defer mu.Unlock(): held until return; nothing to pop
+		}
+		// Other deferred calls run at return time; out of scope.
+	case *ast.GoStmt:
+		// The spawned goroutine does not run under the caller's locks.
+	case *ast.BlockStmt:
+		c.walkStmts(s.List, state)
+	case *ast.LabeledStmt:
+		c.walkStmt(s.Stmt, state)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, state)
+		}
+		c.scan(s.Cond, state)
+		c.walkStmts(s.Body.List, clone(state))
+		if s.Else != nil {
+			c.walkStmt(s.Else, clone(state))
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, state)
+		}
+		if s.Cond != nil {
+			c.scan(s.Cond, state)
+		}
+		body := clone(state)
+		c.walkStmts(s.Body.List, body)
+		if s.Post != nil {
+			c.walkStmt(s.Post, body)
+		}
+	case *ast.RangeStmt:
+		if tv, ok := c.pass.TypesInfo.Types[s.X]; ok {
+			if _, isChan := tv.Type.Underlying().(*types.Chan); isChan && c.guardedHeld(state) {
+				c.report(s.Pos(), state, "ranging over a channel (blocking receive)")
+			}
+		}
+		c.scan(s.X, state)
+		c.walkStmts(s.Body.List, clone(state))
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, state)
+		}
+		if s.Tag != nil {
+			c.scan(s.Tag, state)
+		}
+		for _, cc := range s.Body.List {
+			if cl, ok := cc.(*ast.CaseClause); ok {
+				c.walkStmts(cl.Body, clone(state))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, cc := range s.Body.List {
+			if cl, ok := cc.(*ast.CaseClause); ok {
+				c.walkStmts(cl.Body, clone(state))
+			}
+		}
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, cc := range s.Body.List {
+			if cl, ok := cc.(*ast.CommClause); ok && cl.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault && c.guardedHeld(state) {
+			c.report(s.Pos(), state, "select without a default clause (blocking)")
+		}
+		for _, cc := range s.Body.List {
+			if cl, ok := cc.(*ast.CommClause); ok {
+				c.walkStmts(cl.Body, clone(state))
+			}
+		}
+	case *ast.SendStmt:
+		if c.guardedHeld(state) {
+			c.report(s.Pos(), state, "channel send")
+		}
+	default:
+		c.scan(s, state)
+	}
+}
+
+// scan inspects an expression-bearing node while locks may be held: it flags
+// blocking operations and models nested lock acquisitions at call sites.
+// Function literals are not entered.
+func (c *checker) scan(node ast.Node, state *[]held) {
+	if node == nil {
+		return
+	}
+	ast.Inspect(node, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && c.guardedHeld(state) {
+				c.report(n.Pos(), state, "channel receive")
+			}
+		case *ast.CallExpr:
+			c.checkCall(n, state)
+		}
+		return true
+	})
+}
+
+func (c *checker) checkCall(call *ast.CallExpr, state *[]held) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		// Calls through plain identifiers: flag logf-style function values.
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && isLogfName(id.Name) && c.guardedHeld(state) {
+			c.report(call.Pos(), state, "call through "+id.Name+" (may block on log I/O)")
+		}
+		return
+	}
+	name := sel.Sel.Name
+
+	// Package-level calls: time.Sleep, encoding/json.
+	if pkg := pkgPath(c.pass, sel); pkg != "" {
+		if !c.guardedHeld(state) {
+			return
+		}
+		switch {
+		case pkg == "time" && name == "Sleep":
+			c.report(call.Pos(), state, "time.Sleep")
+		case pkg == "encoding/json" && (name == "Marshal" || name == "MarshalIndent" || name == "Unmarshal"):
+			c.report(call.Pos(), state, "json."+name+" (encode/decode off-lock and publish the bytes)")
+		}
+		return
+	}
+
+	recv := receiverTypeName(c.pass, sel.X)
+
+	// sync.Cond is the sanctioned in-lock wait/wake mechanism.
+	if recv == "Cond" && (name == "Wait" || name == "Broadcast" || name == "Signal") {
+		return
+	}
+
+	// Modeled broadcast-plane methods: treat the call as acquiring the
+	// owner's mutex for ordering purposes.
+	if m, ok := acquires[recv]; ok {
+		if owner, ok := m[name]; ok {
+			c.checkAcquire(call.Pos(), state, nil, owner)
+			return
+		}
+	}
+
+	if !c.guardedHeld(state) {
+		return
+	}
+	switch {
+	case recv == "Conn" && blockingConnMethods[name]:
+		c.report(call.Pos(), state, "transport "+name+" (blocks until the peer drains)")
+	case recv == "WaitGroup" && name == "Wait":
+		c.report(call.Pos(), state, "sync.WaitGroup.Wait")
+	case isLogfName(name):
+		c.report(call.Pos(), state, "call through "+name+" (may block on log I/O)")
+	}
+}
+
+// mutexOp handles a statement-level mutex call, updating state. Reports
+// ordering violations on acquisition. Returns true when the call was a
+// Lock/RLock/Unlock/RUnlock on a sync.Mutex or RWMutex.
+func (c *checker) mutexOp(call *ast.CallExpr, state *[]held) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	name := sel.Sel.Name
+	if name != "Lock" && name != "RLock" && name != "Unlock" && name != "RUnlock" {
+		return false
+	}
+	recvType, ok := c.pass.TypesInfo.Types[sel.X]
+	if !ok || !isMutexType(recvType.Type) {
+		return false
+	}
+	obj, owner := mutexIdentity(c.pass, sel.X)
+	switch name {
+	case "Lock", "RLock":
+		c.checkAcquire(call.Pos(), state, obj, owner)
+		*state = append(*state, held{obj: obj, owner: owner, pos: call.Pos()})
+	case "Unlock", "RUnlock":
+		for i := len(*state) - 1; i >= 0; i-- {
+			h := (*state)[i]
+			if (obj != nil && h.obj == obj) || (obj == nil && h.owner == owner) {
+				*state = append((*state)[:i], (*state)[i+1:]...)
+				break
+			}
+		}
+	}
+	return true
+}
+
+// checkAcquire validates a new acquisition (explicit or modeled) against the
+// locks currently held.
+func (c *checker) checkAcquire(pos token.Pos, state *[]held, obj types.Object, owner string) {
+	for _, h := range *state {
+		if obj != nil && h.obj != nil && h.obj == obj {
+			name := obj.Name()
+			if owner != "" {
+				name = owner + "." + name
+			}
+			c.pass.Reportf(pos, "acquiring %s while already holding it (self-deadlock)", name)
+			return
+		}
+		if h.owner == "" || owner == "" {
+			continue
+		}
+		if h.owner == owner && obj == nil {
+			c.pass.Reportf(pos, "call acquires %s.mu while a %s.mu critical section is open (self-deadlock)", owner, h.owner)
+			return
+		}
+		if allowedOrder[[2]string{h.owner, owner}] {
+			continue
+		}
+		if guardedOwners[h.owner] || guardedOwners[owner] {
+			c.pass.Reportf(pos, "lock ordering: acquiring %s.mu while holding %s.mu; the sanctioned order is NetServer.mu → bcastLog.mu only", owner, h.owner)
+			return
+		}
+	}
+}
+
+// isUnlockCall reports whether call is <mutex>.Unlock or RUnlock.
+func (c *checker) isUnlockCall(call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Unlock" && sel.Sel.Name != "RUnlock") {
+		return false
+	}
+	tv, ok := c.pass.TypesInfo.Types[sel.X]
+	return ok && isMutexType(tv.Type)
+}
+
+// guardedHeld reports whether any currently-held lock belongs to a guarded
+// owner type.
+func (c *checker) guardedHeld(state *[]held) bool {
+	for _, h := range *state {
+		if guardedOwners[h.owner] {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *checker) report(pos token.Pos, state *[]held, what string) {
+	owner := ""
+	for _, h := range *state {
+		if guardedOwners[h.owner] {
+			owner = h.owner
+		}
+	}
+	c.pass.Reportf(pos, "%s inside a %s.mu critical section; the broadcast plane requires non-blocking critical sections", what, owner)
+}
+
+// mutexIdentity resolves the mutex expression (s.mu, l.mu, mu) to its object
+// and the name of the struct type that owns it.
+func mutexIdentity(pass *analysis.Pass, expr ast.Expr) (types.Object, string) {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.SelectorExpr:
+		var obj types.Object
+		if s, ok := pass.TypesInfo.Selections[e]; ok && s.Kind() == types.FieldVal {
+			obj = s.Obj()
+		}
+		owner := receiverTypeName(pass, e.X)
+		return obj, owner
+	case *ast.Ident:
+		return pass.TypesInfo.Uses[e], ""
+	}
+	return nil, ""
+}
+
+// receiverTypeName returns the named type of expr after stripping pointers.
+func receiverTypeName(pass *analysis.Pass, expr ast.Expr) string {
+	tv, ok := pass.TypesInfo.Types[expr]
+	if !ok || tv.Type == nil {
+		return ""
+	}
+	t := tv.Type
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// isMutexType reports whether t is sync.Mutex or sync.RWMutex (or a pointer
+// to one).
+func isMutexType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+func isLogfName(name string) bool { return name == "logf" || name == "Logf" }
+
+// pkgPath returns the import path when sel is a package-qualified reference
+// (time.Sleep), or "".
+func pkgPath(pass *analysis.Pass, sel *ast.SelectorExpr) string {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName); ok {
+		return pn.Imported().Path()
+	}
+	return ""
+}

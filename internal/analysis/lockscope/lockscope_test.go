@@ -1,0 +1,16 @@
+package lockscope_test
+
+import (
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"crowdfill/internal/analysis/analysistest"
+	"crowdfill/internal/analysis/lockscope"
+)
+
+func TestLockscope(t *testing.T) {
+	_, file, _, _ := runtime.Caller(0)
+	testdata := filepath.Join(filepath.Dir(file), "testdata")
+	analysistest.Run(t, testdata, lockscope.New(), "c")
+}

@@ -1,0 +1,185 @@
+// Package c exercises the lockscope analyzer: blocking operations inside
+// guarded critical sections and lock-ordering at modeled call sites. The
+// type names mirror the broadcast plane's (lockscope models lock footprints
+// by receiver type name).
+package c
+
+import (
+	"encoding/json"
+	"sync"
+	"time"
+)
+
+// Conn mimics a transport connection.
+type Conn struct{}
+
+func (Conn) Send(v any) error   { return nil }
+func (Conn) Recv() (int, error) { return 0, nil }
+func (Conn) Close() error       { return nil }
+
+type bcastLog struct {
+	mu   sync.RWMutex
+	cond *sync.Cond
+	head uint64
+}
+
+func (l *bcastLog) publish() {
+	l.mu.Lock()
+	l.head++
+	l.mu.Unlock()
+}
+
+func (l *bcastLog) headSeq() uint64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.head
+}
+
+type NetServer struct {
+	mu   sync.Mutex
+	log  *bcastLog
+	conn Conn
+	ch   chan int
+	logf func(string, ...any)
+}
+
+// goodOrder acquires bcastLog.mu (via the modeled publish) under
+// NetServer.mu: the sanctioned order.
+func (s *NetServer) goodOrder() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.log.publish()
+}
+
+// badOrder acquires NetServer.mu inside a bcastLog.mu critical section.
+func (l *bcastLog) badOrder(s *NetServer) {
+	l.mu.Lock()
+	s.mu.Lock() // want `lock ordering: acquiring NetServer.mu while holding bcastLog.mu`
+	s.mu.Unlock()
+	l.mu.Unlock()
+}
+
+// selfDeadlock calls a method that re-acquires the lock already held.
+func (l *bcastLog) selfDeadlock() {
+	l.mu.Lock()
+	_ = l.headSeq() // want `call acquires bcastLog.mu while a bcastLog.mu critical section is open`
+	l.mu.Unlock()
+}
+
+// sendUnderLock performs a channel send inside a guarded section.
+func (s *NetServer) sendUnderLock() {
+	s.mu.Lock()
+	s.ch <- 1 // want `channel send inside a NetServer.mu critical section`
+	s.mu.Unlock()
+}
+
+// sendAfterUnlock is fine: the send happens outside the section.
+func (s *NetServer) sendAfterUnlock() {
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.ch <- 1
+}
+
+// recvUnderDeferredLock blocks on a receive while the deferred unlock still
+// holds the lock.
+func (s *NetServer) recvUnderDeferredLock() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return <-s.ch // want `channel receive inside a NetServer.mu critical section`
+}
+
+// nonBlockingSelect is the sanctioned doorbell ring: select with default.
+func (s *NetServer) nonBlockingSelect() {
+	s.mu.Lock()
+	select {
+	case s.ch <- 1:
+	default:
+	}
+	s.mu.Unlock()
+}
+
+// blockingSelect lacks the default and parks under the lock.
+func (s *NetServer) blockingSelect() {
+	s.mu.Lock()
+	select { // want `select without a default clause`
+	case s.ch <- 1:
+	}
+	s.mu.Unlock()
+}
+
+// transportSendUnderLock writes to a connection inside the section.
+func (s *NetServer) transportSendUnderLock() {
+	s.mu.Lock()
+	_ = s.conn.Send(1) // want `transport Send`
+	s.mu.Unlock()
+}
+
+// jsonUnderLock encodes under the lock.
+func (s *NetServer) jsonUnderLock(v any) {
+	s.mu.Lock()
+	_, _ = json.Marshal(v) // want `json.Marshal`
+	s.mu.Unlock()
+}
+
+// sleepUnderLock stalls every publisher.
+func (s *NetServer) sleepUnderLock() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want `time.Sleep inside a NetServer.mu critical section`
+	s.mu.Unlock()
+}
+
+// logfUnderLock may block on log I/O.
+func (s *NetServer) logfUnderLock() {
+	s.mu.Lock()
+	s.logf("under lock") // want `call through logf`
+	s.mu.Unlock()
+}
+
+// condWaitIsAllowed: the designed follower wait releases the lock.
+func (l *bcastLog) condWaitIsAllowed() {
+	l.mu.RLock()
+	for l.head == 0 {
+		l.cond.Wait()
+	}
+	l.mu.RUnlock()
+}
+
+// closureNotUnderLock: a function literal built under the lock does not run
+// under it.
+func (s *NetServer) closureNotUnderLock() func() {
+	s.mu.Lock()
+	fn := func() { s.ch <- 1 }
+	s.mu.Unlock()
+	return fn
+}
+
+// branchUnlockThenBlock: a branch that unlocks before blocking is fine.
+func (s *NetServer) branchUnlockThenBlock(stop bool) {
+	s.mu.Lock()
+	if stop {
+		s.mu.Unlock()
+		s.ch <- 1
+		return
+	}
+	s.mu.Unlock()
+}
+
+// allowedEscapeHatch documents an intentional in-lock send.
+func (s *NetServer) allowedEscapeHatch() {
+	s.mu.Lock()
+	s.ch <- 1 //lint:allow lockscope startup-only path, single-threaded before serving
+	s.mu.Unlock()
+}
+
+// unguardedMutexesAreOrderingOnly: blocking ops under a non-plane mutex are
+// not flagged.
+type ledger struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func (g *ledger) record() {
+	g.mu.Lock()
+	g.ch <- 1 // not a guarded owner: no finding
+	g.mu.Unlock()
+}

@@ -1,0 +1,91 @@
+// Package d exercises the msgfield analyzer against the real message
+// vocabulary: no-default switches must be exhaustive, and the local
+// Core.HandleBroadcast / Rebuild pair models the accept-vs-replay contract.
+package d
+
+import (
+	"errors"
+
+	"crowdfill/internal/sync"
+)
+
+// exhaustive covers every declared MsgType and needs no default.
+func exhaustive(t sync.MsgType) string {
+	switch t {
+	case sync.MsgInsert:
+		return "insert"
+	case sync.MsgReplace:
+		return "replace"
+	case sync.MsgUpvote:
+		return "upvote"
+	case sync.MsgDownvote:
+		return "downvote"
+	case sync.MsgSnapshot:
+		return "snapshot"
+	case sync.MsgDone:
+		return "done"
+	case sync.MsgEstimate:
+		return "estimate"
+	case sync.MsgUnupvote:
+		return "unupvote"
+	case sync.MsgUndownvote:
+		return "undownvote"
+	}
+	return ""
+}
+
+// partialNoDefault silently drops every kind it does not list.
+func partialNoDefault(t sync.MsgType) bool {
+	switch t { // want `switch over sync.MsgType without a default clause is missing MsgDone`
+	case sync.MsgInsert, sync.MsgReplace:
+		return true
+	case sync.MsgUpvote:
+		return true
+	}
+	return false
+}
+
+// partialWithDefault marks the partial dispatch intentionally.
+func partialWithDefault(t sync.MsgType) bool {
+	switch t {
+	case sync.MsgInsert, sync.MsgReplace:
+		return true
+	default:
+		return false
+	}
+}
+
+// notAMsgType switches are out of scope.
+func notAMsgType(n int) bool {
+	switch n {
+	case 1:
+		return true
+	}
+	return false
+}
+
+// Core mirrors the server core for the cross-package contract check.
+type Core struct{}
+
+// HandleBroadcast accepts MsgSnapshot from clients, but Rebuild below does
+// not replay it — the Finish hook reports the broken contract here.
+func (c *Core) HandleBroadcast(m *sync.Message) error {
+	switch m.Type { // want `client-accepted message types MsgSnapshot are not handled by replay.Rebuild`
+	case sync.MsgInsert, sync.MsgReplace, sync.MsgUpvote, sync.MsgSnapshot:
+		return nil
+	default:
+		return errors.New("rejected")
+	}
+}
+
+// Rebuild replays a strict subset of what HandleBroadcast accepts.
+func Rebuild(msgs []sync.Message) error {
+	for _, m := range msgs {
+		switch m.Type {
+		case sync.MsgInsert, sync.MsgReplace, sync.MsgUpvote:
+		default:
+			return errors.New("unreplayable")
+		}
+	}
+	return nil
+}

@@ -1,0 +1,164 @@
+// Package simdet enforces determinism in the simulation packages: runs must
+// be exactly reproducible from their seeds, because CrowdFill's bookkeeping
+// trace (paper §3.3) is an audit artifact — crowdfill-replay recomputes
+// compensation from it, and the replay-determinism tests compare exported
+// trace bytes across runs. Wall-clock reads, the process-global math/rand
+// source, and map-iteration-ordered output all silently break that.
+package simdet
+
+import (
+	"go/ast"
+	"go/types"
+
+	"crowdfill/internal/analysis"
+)
+
+// DefaultPackages are the deterministic-sim packages crowdfill-lint applies
+// this analyzer to. Time must come from an injected simclock.Clock and
+// randomness from an injected, seeded *rand.Rand in these packages only;
+// live-server code (transport, wsock, frontend) legitimately uses the wall
+// clock.
+var DefaultPackages = []string{
+	"crowdfill/internal/client",
+	"crowdfill/internal/crowd",
+	"crowdfill/internal/exp",
+	"crowdfill/internal/marketplace",
+	"crowdfill/internal/microtask",
+}
+
+// bannedTime are time-package functions that read the wall clock or block on
+// it. time.Duration arithmetic and construction remain fine.
+var bannedTime = map[string]string{
+	"Now":       "reads the wall clock",
+	"Sleep":     "blocks on the wall clock",
+	"Since":     "reads the wall clock",
+	"Until":     "reads the wall clock",
+	"After":     "schedules on the wall clock",
+	"Tick":      "schedules on the wall clock",
+	"NewTimer":  "schedules on the wall clock",
+	"NewTicker": "schedules on the wall clock",
+	"AfterFunc": "schedules on the wall clock",
+}
+
+// bannedRand are math/rand top-level functions, all of which draw from the
+// process-global source; rand.New(rand.NewSource(seed)) and methods on an
+// injected *rand.Rand are the sanctioned route.
+var bannedRand = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "NormFloat64": true, "ExpFloat64": true,
+	"Perm": true, "Shuffle": true, "Seed": true, "Read": true,
+}
+
+// New returns the simdet analyzer.
+func New() *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "simdet",
+		Doc: "flags nondeterminism in simulation packages: wall-clock reads " +
+			"(time.Now/Sleep/...; inject simclock.Clock), global math/rand " +
+			"draws (inject a seeded *rand.Rand), and slice/print output built " +
+			"while ranging over a map without sorting",
+		Run: run,
+	}
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	callsSort := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if pkg, name := pkgFunc(pass, call); pkg == "sort" && name != "" {
+				callsSort = true
+			}
+		}
+		return true
+	})
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			pkg, name := pkgFunc(pass, n)
+			switch pkg {
+			case "time":
+				if why, bad := bannedTime[name]; bad {
+					pass.Reportf(n.Pos(), "time.%s %s; deterministic-sim packages must take time from an injected simclock.Clock", name, why)
+				}
+			case "math/rand", "math/rand/v2":
+				if bannedRand[name] {
+					pass.Reportf(n.Pos(), "rand.%s draws from the process-global source; inject a seeded *rand.Rand so runs replay bit-identically", name)
+				}
+			}
+		case *ast.RangeStmt:
+			checkMapRange(pass, n, callsSort)
+		}
+		return true
+	})
+}
+
+// checkMapRange flags a range over a map whose body emits ordered output
+// (slice appends or direct printing) in a function that never sorts: the
+// iteration order leaks into results and differs between runs. Appending and
+// sorting afterwards is the sanctioned pattern and is not flagged.
+func checkMapRange(pass *analysis.Pass, rng *ast.RangeStmt, callsSort bool) {
+	if callsSort {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	emits := false
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" {
+			if obj, found := pass.TypesInfo.Uses[id]; found {
+				if _, builtin := obj.(*types.Builtin); builtin {
+					emits = true
+				}
+			}
+		}
+		if pkg, _ := pkgFunc(pass, call); pkg == "fmt" {
+			emits = true
+		}
+		return true
+	})
+	if emits {
+		pass.Reportf(rng.Pos(), "output built while ranging over a map without sorting: iteration order differs between runs; collect and sort before emitting")
+	}
+}
+
+// pkgFunc resolves a call to (package path, function name) when the callee
+// is a package-level function referenced through its package name; otherwise
+// it returns ("", "").
+func pkgFunc(pass *analysis.Pass, call *ast.CallExpr) (string, string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", ""
+	}
+	pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", ""
+	}
+	return pn.Imported().Path(), sel.Sel.Name
+}

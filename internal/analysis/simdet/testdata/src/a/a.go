@@ -1,0 +1,83 @@
+// Package a exercises the simdet analyzer: wall-clock reads, global
+// math/rand draws, and map-range-ordered output.
+package a
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallClock() int64 {
+	t := time.Now()                     // want `time.Now reads the wall clock`
+	time.Sleep(time.Millisecond)        // want `time.Sleep blocks on the wall clock`
+	d := time.Since(t)                  // want `time.Since reads the wall clock`
+	_ = time.Duration(42) * time.Second // duration arithmetic is fine
+	return int64(d)
+}
+
+func globalRand() int {
+	n := rand.Intn(10)                 // want `rand.Intn draws from the process-global source`
+	rand.Shuffle(n, func(i, j int) {}) // want `rand.Shuffle draws from the process-global source`
+	return n
+}
+
+func seededRand(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed)) // injected seeded source: allowed
+	return rng.Float64()
+}
+
+func injected(rng *rand.Rand) int {
+	return rng.Intn(10) // method on injected *rand.Rand: allowed
+}
+
+func mapOrderLeak(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `output built while ranging over a map without sorting`
+		out = append(out, k)
+	}
+	return out
+}
+
+func mapOrderPrinted(m map[string]int) {
+	for k, v := range m { // want `output built while ranging over a map without sorting`
+		fmt.Println(k, v)
+	}
+}
+
+func mapOrderSorted(m map[string]int) []string {
+	var out []string
+	for k := range m { // sorted afterwards: allowed
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func mapAccumulate(m map[string]int) int {
+	sum := 0
+	for _, v := range m { // commutative accumulation: allowed
+		sum += v
+	}
+	return sum
+}
+
+func allowed() int64 {
+	//lint:allow simdet boot-time banner only, never feeds the trace
+	return time.Now().UnixNano()
+}
+
+func allowedInline() int64 {
+	return time.Now().UnixNano() //lint:allow simdet boot-time banner only, never feeds the trace
+}
+
+func staleAllow() int {
+	//lint:allow simdet nothing to suppress here // want `stale //lint:allow simdet directive`
+	return 7
+}
+
+func unjustifiedAllow() int64 {
+	//lint:allow simdet // want `needs a justification`
+	return time.Now().UnixNano()
+}

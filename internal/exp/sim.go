@@ -322,6 +322,9 @@ func workerReports(cfg SimConfig, core *server.Core, alloc *pay.Allocation) []Wo
 		case sync.MsgDownvote:
 			r.Downvotes++
 			r.Actions++
+		default:
+			// Inserts, unvotes and server-originated traffic earn no
+			// per-worker action credit.
 		}
 	}
 	for w, amt := range alloc.PerWorker {

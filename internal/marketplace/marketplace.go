@@ -13,6 +13,8 @@ import (
 	"sort"
 	gosync "sync"
 	"time"
+
+	"crowdfill/internal/simclock"
 )
 
 // Errors surfaced by marketplace operations.
@@ -50,6 +52,7 @@ type Payment struct {
 type Marketplace struct {
 	mu      gosync.Mutex
 	rng     *rand.Rand
+	clock   simclock.Clock
 	sandbox bool
 	seq     int64
 	hits    map[string]*HIT
@@ -65,6 +68,7 @@ type Marketplace struct {
 func New(seed int64, poolSize int, sandbox bool) *Marketplace {
 	m := &Marketplace{
 		rng:     rand.New(rand.NewSource(seed)),
+		clock:   simclock.Real{},
 		sandbox: sandbox,
 		hits:    make(map[string]*HIT),
 		balance: make(map[string]float64),
@@ -80,6 +84,14 @@ func New(seed int64, poolSize int, sandbox bool) *Marketplace {
 // Sandbox reports whether payments are simulated-only.
 func (m *Marketplace) Sandbox() bool { return m.sandbox }
 
+// SetClock replaces the time source for HIT creation stamps. Deterministic
+// runs inject a simclock.Sim-backed clock; the default is the wall clock.
+func (m *Marketplace) SetClock(c simclock.Clock) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.clock = c
+}
+
 // CreateHIT publishes a task with an external question URL (§3.2: the
 // marketplace must allow externally-hosted questions and bonus payments).
 func (m *Marketplace) CreateHIT(title, externalURL string, maxAssignments int) (*HIT, error) {
@@ -94,7 +106,7 @@ func (m *Marketplace) CreateHIT(title, externalURL string, maxAssignments int) (
 		Title:          title,
 		ExternalURL:    externalURL,
 		MaxAssignments: maxAssignments,
-		Created:        time.Now(),
+		Created:        time.Unix(0, m.clock.Now()),
 	}
 	m.hits[h.ID] = h
 	return h, nil

@@ -159,6 +159,9 @@ func Analyze(final []*model.Row, trace, ccLog []sync.Message) *Contributions {
 			if consistent {
 				out.Downvotes = append(out.Downvotes, i)
 			}
+		default:
+			// Only fills and votes earn contributions (§5.2); other message
+			// kinds in the trace are bookkeeping.
 		}
 	}
 	return out

@@ -257,6 +257,8 @@ func (e *Estimator) absorb(m sync.Message, prob []*model.Row) {
 		useful = e.upvoteProbable(m.Vec, prob)
 	case sync.MsgDownvote:
 		useful = e.registerDownvote(m.Vec, prob)
+	default:
+		// Other kinds never count as useful work.
 	}
 	if m.Worker != "" && !(m.Type == sync.MsgUpvote && m.Auto) {
 		e.workerActions[m.Worker]++
@@ -295,6 +297,8 @@ func (e *Estimator) absorb(m sync.Message, prob []*model.Row) {
 		if useful {
 			e.downGaps.add(gap)
 		}
+	default:
+		// Latency gaps track fills and votes only (§5.3).
 	}
 }
 

@@ -204,6 +204,8 @@ func (r *Replica) Apply(m Message) error {
 		// Votes on vectors no row carries still mutate the histories, so any
 		// message reaching the switch below dirties the state.
 		r.epoch++
+	default:
+		// Snapshot, done and estimate messages leave the replica unchanged.
 	}
 	switch m.Type {
 	case MsgInsert:
