@@ -35,7 +35,9 @@ fuzz-smoke:
 # race detector, and a short fuzz smoke.
 verify: build vet lint test race fuzz-smoke
 
-# bench runs the hot-path benchmarks (server fan-out, probable-row scan) and
-# the paper's E1-E6 experiment benchmarks, writing BENCH_fanout.json.
+# bench runs the hot-path benchmarks (server fan-out, broadcast publish,
+# probable-row scan, PRI repair full-vs-incremental) and the paper's E1-E6
+# experiment benchmarks, writing BENCH_fanout.json, BENCH_broadcast.json,
+# and BENCH_planner.json.
 bench:
 	sh scripts/bench.sh

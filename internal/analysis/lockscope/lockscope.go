@@ -13,8 +13,12 @@
 // the broadcast-plane methods themselves (bcastLog.publish acquires
 // bcastLog.mu, NetServer.handleAndPublish acquires NetServer.mu, ...) so
 // ordering violations show up at call sites, not just at literal mu.Lock()
-// lines. sync.Cond.Wait is exempt: it releases the lock while parked and is
-// the designed follower wait. Function literals are skipped — a closure
+// lines. Some bodies never see a literal Lock yet always run inside Core's
+// critical section — delta-listener callbacks (ProbableAdded and friends,
+// delivered during index flushes), the planner's repair paths, and the table
+// index's flush machinery — so those start their analysis with an implicit
+// Core hold. sync.Cond.Wait is exempt: it releases the lock while parked and
+// is the designed follower wait. Function literals are skipped — a closure
 // built under a lock does not run under it.
 package lockscope
 
@@ -40,6 +44,35 @@ var guardedOwners = map[string]bool{
 // allowedOrder lists the sanctioned nested-acquisition pairs: outer → inner.
 var allowedOrder = map[[2]string]bool{
 	{"NetServer", "bcastLog"}: true,
+}
+
+// deltaListenerMethods are the model.ProbableDeltaListener callbacks. The
+// table index delivers them synchronously while flushing, and on the server
+// every flush happens inside Core's critical section (planner repair, key
+// stats, estimator queries all run under it) — so listener bodies are
+// analyzed as if Core.mu were held, regardless of the receiver type.
+var deltaListenerMethods = map[string]bool{
+	"ProbableAdded":   true,
+	"ProbableRemoved": true,
+	"ProbableUpdated": true,
+	"IndexReset":      true,
+}
+
+// implicitGuards seeds the lock state of methods that only ever run inside a
+// Core critical section — the planner's repair paths (both the full-rebuild
+// spec and the delta-driven fast path, plus the engine helpers the deltas
+// drive) and the table index's flush machinery. Keyed like acquires by
+// receiver type name then method name, valued by the guarding owner.
+var implicitGuards = map[string]map[string]string{
+	"Planner": {
+		"Repair": "Core", "repairFull": "Core",
+		"repairIncremental": "Core", "crossCheckRepair": "Core",
+	},
+	"TableIndex": {"flush": "Core", "flushKey": "Core"},
+	"deltaAdj": {
+		"allocSlot": "Core", "insertAdj": "Core", "compact": "Core",
+		"candidateTemplates": "Core", "indexTemplate": "Core", "removeTemplate": "Core",
+	},
 }
 
 // acquires models the lock footprint of broadcast-plane methods, keyed by
@@ -93,11 +126,48 @@ func run(pass *analysis.Pass) error {
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
 			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
-				c.walkStmts(fd.Body.List, &[]held{})
+				c.walkStmts(fd.Body.List, initialState(fd))
 			}
 		}
 	}
 	return nil
+}
+
+// initialState builds the lock state a function body starts with: empty for
+// most, an implicit Core hold for delta-listener callbacks and the modeled
+// always-under-Core methods.
+func initialState(fd *ast.FuncDecl) *[]held {
+	state := &[]held{}
+	recv := recvDeclTypeName(fd)
+	if recv == "" {
+		return state
+	}
+	owner := ""
+	if deltaListenerMethods[fd.Name.Name] {
+		owner = "Core"
+	} else if m, ok := implicitGuards[recv]; ok {
+		owner = m[fd.Name.Name]
+	}
+	if owner != "" {
+		*state = append(*state, held{owner: owner, pos: fd.Pos()})
+	}
+	return state
+}
+
+// recvDeclTypeName returns the declared receiver type name of a method, or
+// "" for plain functions.
+func recvDeclTypeName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	if se, ok := t.(*ast.StarExpr); ok {
+		t = se.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
 }
 
 func (c *checker) walkStmts(stmts []ast.Stmt, state *[]held) {

@@ -171,6 +171,68 @@ func (s *NetServer) allowedEscapeHatch() {
 	s.mu.Unlock()
 }
 
+// deltaAdj mirrors the planner's delta engine: ProbableDeltaListener
+// callbacks run inside index flushes — on the server, always under Core's
+// critical section — so their bodies carry an implicit Core hold.
+type deltaAdj struct {
+	ch   chan int
+	logf func(string, ...any)
+}
+
+func (e *deltaAdj) ProbableAdded(r *int) {
+	e.ch <- 1 // want `channel send inside a Core.mu critical section`
+}
+
+func (e *deltaAdj) IndexReset() {
+	e.logf("reset") // want `call through logf`
+}
+
+// compact is in the modeled always-under-Core set for deltaAdj receivers.
+func (e *deltaAdj) compact() {
+	<-e.ch // want `channel receive inside a Core.mu critical section`
+}
+
+// rebalance is NOT a modeled method: no implicit hold, no finding.
+func (e *deltaAdj) rebalance() {
+	e.ch <- 1
+}
+
+// TableIndex mirrors the model package's index: its flush machinery runs
+// under Core.
+type TableIndex struct {
+	ch chan int
+}
+
+func (x *TableIndex) flush() {
+	select { // want `select without a default clause`
+	case x.ch <- 1:
+	}
+}
+
+// Probable is not modeled as under-Core: no finding.
+func (x *TableIndex) Probable() {
+	x.ch <- 1
+}
+
+// Planner mirrors the constraint planner: the repair paths run under Core.
+type Planner struct {
+	conn Conn
+}
+
+func (p *Planner) repairIncremental() {
+	_ = p.conn.Send(1) // want `transport Send`
+}
+
+// ProbableAdded on any receiver type carries the implicit hold (listener
+// dispatch is by interface, not by a known concrete type).
+type otherListener struct {
+	ch chan int
+}
+
+func (o *otherListener) ProbableRemoved(r *int) {
+	o.ch <- 1 // want `channel send inside a Core.mu critical section`
+}
+
 // unguardedMutexesAreOrderingOnly: blocking ops under a non-plane mutex are
 // not flagged.
 type ledger struct {

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"crowdfill/internal/model"
+	"crowdfill/internal/sync"
 )
 
 func benchTable(n int) *model.Candidate {
@@ -29,6 +30,104 @@ func BenchmarkProbable(b *testing.B) {
 				Probable(c, model.MajorityShortcut(3))
 			}
 		})
+	}
+}
+
+// BenchmarkPlannerRepair measures one Central Client message round at steady
+// state: a vote flips one row out of the probable set (freeing its template),
+// a repair reassigns it, the vote is undone, and a second repair settles.
+// Votes travel the indexed per-value path, so the replica's share of the cost
+// is O(1); the difference between modes is the repair itself. mode=full is
+// the full-rebuild spec over the TableIndex (per-repair adjacency rebuild,
+// O(|T|·|P|)); mode=incr is the delta-driven engine, whose per-repair cost
+// must stay flat in the probable-set size (the acceptance bar: 1000-row cost
+// within 3× of the 10-row cost; scripts/bench.sh extracts BENCH_planner.json
+// from this benchmark's output).
+func BenchmarkPlannerRepair(b *testing.B) {
+	for _, mode := range []string{"full", "incr"} {
+		for _, n := range []int{10, 100, 1000} {
+			for _, tsize := range []int{4, 16} {
+				if tsize+2 > n {
+					continue // not enough probable rows: repairs would plan inserts
+				}
+				b.Run(fmt.Sprintf("mode=%s/rows=%d/tmpl=%d", mode, n, tsize), func(b *testing.B) {
+					benchPlannerRepair(b, mode, n, tsize)
+				})
+			}
+		}
+	}
+}
+
+func benchPlannerRepair(b *testing.B, mode string, n, tsize int) {
+	s := model.MustSchema("B", []model.Column{{Name: "k"}, {Name: "v"}}, "k")
+	f := model.DefaultScore
+	rep := sync.NewReplica(s)
+	g := sync.NewIDGen("b")
+
+	// A same-key pair with the lowest row ids (so both start matched), then
+	// distinct-key filler rows. All score 0 → all probable (rule 2). Upvoting
+	// the pair's first row makes it positive, pushing its partner out of the
+	// probable set; undoing restores it — an O(1)-message toggle.
+	toggle := mkRow(b, rep, g, "k-pair", "x")
+	toggleVec := model.VectorOf("k-pair", "x")
+	mkRow(b, rep, g, "k-pair", "y")
+	for i := 0; i < n-2; i++ {
+		mkRow(b, rep, g, fmt.Sprintf("k%04d", i), "x")
+	}
+
+	idx := model.NewTableIndex(rep.Table(), f)
+	rep.SetObserver(idx)
+	p := NewPlanner(Cardinality(s, tsize), f)
+	switch mode {
+	case "full":
+		p.UseIndex(idx)
+	case "incr":
+		p.UseIncremental(idx)
+	}
+	if acts := p.Repair(rep); len(acts) != 0 {
+		b.Fatalf("setup repair planned actions: %v", acts)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rep.Upvote(toggle); err != nil {
+			b.Fatal(err)
+		}
+		if acts := p.Repair(rep); len(acts) != 0 {
+			b.Fatalf("repair planned actions: %v", acts)
+		}
+		if _, err := rep.UndoUpvote(toggleVec); err != nil {
+			b.Fatal(err)
+		}
+		if acts := p.Repair(rep); len(acts) != 0 {
+			b.Fatalf("repair planned actions: %v", acts)
+		}
+	}
+}
+
+// BenchmarkMatchingAugment measures one Unmatch+Augment cycle on a warm
+// matching; the epoch-stamped scratch must keep it allocation-free.
+func BenchmarkMatchingAugment(b *testing.B) {
+	const n = 200
+	adj := make([][]int, n)
+	for i := range adj {
+		for j := 0; j < n; j++ {
+			adj[i] = append(adj[i], j)
+		}
+	}
+	m := MaxMatching(adj, n)
+	if m.Size != n {
+		b.Fatal("matching broken")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Unmatch(0)
+		if !m.Augment(adj, 0) {
+			b.Fatal("augment failed")
+		}
+		m.Size++
 	}
 }
 

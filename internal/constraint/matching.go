@@ -9,6 +9,13 @@ type Matching struct {
 	Right []int
 	// Size is the number of matched pairs.
 	Size int
+
+	// seen is the augmenting search's visited-marks scratch, epoch-stamped
+	// so repeated Augment calls neither allocate nor clear it: seen[p] ==
+	// epoch means right vertex p was visited by the current search. It only
+	// grows (and only reallocates when the right side outgrows it).
+	seen  []uint64
+	epoch uint64
 }
 
 // MaxMatching computes a maximum bipartite matching by repeated augmenting
@@ -39,17 +46,20 @@ func MaxMatching(adj [][]int, nRight int) Matching {
 // alternating-path search) and flips it into the matching if found.
 // Returns whether the matching grew.
 func (m *Matching) Augment(adj [][]int, t int) bool {
-	seen := make([]bool, len(m.Right))
-	return m.tryKuhn(adj, t, seen)
+	if len(m.seen) < len(m.Right) {
+		m.seen = make([]uint64, len(m.Right))
+	}
+	m.epoch++
+	return m.tryKuhn(adj, t)
 }
 
-func (m *Matching) tryKuhn(adj [][]int, t int, seen []bool) bool {
+func (m *Matching) tryKuhn(adj [][]int, t int) bool {
 	for _, p := range adj[t] {
-		if seen[p] {
+		if m.seen[p] == m.epoch {
 			continue
 		}
-		seen[p] = true
-		if m.Right[p] == -1 || m.tryKuhn(adj, m.Right[p], seen) {
+		m.seen[p] = m.epoch
+		if m.Right[p] == -1 || m.tryKuhn(adj, m.Right[p]) {
 			m.Right[p] = t
 			m.Left[t] = p
 			return true

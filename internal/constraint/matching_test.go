@@ -1,0 +1,62 @@
+package constraint
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestMatchingAugmentNoAllocs proves the epoch-stamped visited marks make
+// repeated Unmatch+Augment cycles allocation-free once the scratch array has
+// grown to the right side's size.
+func TestMatchingAugmentNoAllocs(t *testing.T) {
+	const nLeft, nRight = 32, 64
+	rng := rand.New(rand.NewSource(11))
+	adj := make([][]int, nLeft)
+	for l := range adj {
+		for r := 0; r < nRight; r++ {
+			if rng.Intn(3) == 0 {
+				adj[l] = append(adj[l], r)
+			}
+		}
+	}
+	m := MaxMatching(adj, nRight) // warms the scratch to nRight
+	if m.Size == 0 {
+		t.Fatal("degenerate instance: empty matching")
+	}
+
+	l := 0
+	for m.Left[l] == -1 {
+		l++
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		m.Unmatch(l)
+		if !m.Augment(adj, l) {
+			t.Fatal("augmenting a just-unmatched vertex must succeed")
+		}
+		m.Size++
+	})
+	if allocs != 0 {
+		t.Fatalf("Unmatch+Augment allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestMatchingScratchGrows checks Augment stays correct when the right side
+// grows between calls (the scratch must follow).
+func TestMatchingScratchGrows(t *testing.T) {
+	adj := [][]int{{0}}
+	m := MaxMatching(adj, 1)
+	if m.Size != 1 {
+		t.Fatalf("size = %d, want 1", m.Size)
+	}
+
+	// Grow the right side and add a left vertex adjacent to old and new.
+	adj = [][]int{{0}, {0, 5}}
+	m.Left = append(m.Left, -1)
+	m.Right = append(m.Right, -1, -1, -1, -1, -1)
+	if !m.Augment(adj, 1) {
+		t.Fatal("augment after growth failed")
+	}
+	if m.Left[1] != 5 || m.Right[5] != 1 {
+		t.Fatalf("new vertex matched to %d, want 5", m.Left[1])
+	}
+}

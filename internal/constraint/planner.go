@@ -1,6 +1,8 @@
 package constraint
 
 import (
+	"fmt"
+
 	"crowdfill/internal/model"
 	"crowdfill/internal/sync"
 )
@@ -38,6 +40,8 @@ type Planner struct {
 	tmpl  Template
 	score model.ScoreFunc
 	idx   *model.TableIndex // optional: incremental probable-row source
+	eng   *deltaAdj         // optional: delta-driven repair engine (UseIncremental)
+	debug bool              // cross-check incremental repairs against the spec
 
 	removed  []bool
 	assigned []model.RowID // assigned[t] = probable row currently matched, "" if none
@@ -104,18 +108,72 @@ func (p *Planner) Assignment() []model.RowID {
 	return append([]model.RowID(nil), p.assigned...)
 }
 
+// AssignedRow returns the probable row currently matched to template row t
+// ("" when unmatched or removed) without copying the whole assignment.
+func (p *Planner) AssignedRow(t int) model.RowID { return p.assigned[t] }
+
 // UseIndex makes Repair draw probable rows and same-key competition from an
 // incrementally maintained TableIndex instead of rescanning the candidate
 // table on every call. The index must be attached to the same replica Repair
 // is called with (e.g. via rep.SetObserver), so it reflects every applied
-// message.
+// message. Repair still rebuilds the template×probable adjacency per call;
+// UseIncremental removes that cost too.
 func (p *Planner) UseIndex(idx *model.TableIndex) { p.idx = idx }
+
+// UseIncremental switches Repair to the delta-driven fast path: a listener
+// registered on the index maintains a persistent template×probable-row
+// adjacency and the repair re-runs augmenting searches only for template
+// rows a delta dirtied, so per-repair cost is proportional to the
+// probable-set delta instead of |T|·|P|. The full-rebuild path remains the
+// executable spec (and stays selected when UseIncremental is not called);
+// both produce identical actions and assignments.
+//
+// Like UseIndex, the index must observe the same replica Repair is called
+// with. Call once, before the first Repair.
+func (p *Planner) UseIncremental(idx *model.TableIndex) {
+	p.idx = idx
+	p.eng = newDeltaAdj(p)
+	idx.AddDeltaListener(p.eng)
+	for _, r := range idx.Probable() {
+		p.eng.ProbableAdded(r)
+	}
+}
+
+// SetDebug enables the opt-in cross-check mode: every incremental Repair is
+// replayed through the full-rebuild spec on a shadow planner and the two
+// must produce identical actions, assignments, and removals, panicking on
+// divergence. Expensive (it restores the O(|T|·|P|) spec cost); tests only.
+func (p *Planner) SetDebug(on bool) { p.debug = on }
+
+// Mode reports which repair path Repair runs ("full-rebuild" or
+// "incremental"), for stats and reports.
+func (p *Planner) Mode() string {
+	if p.eng != nil {
+		return "incremental"
+	}
+	return "full-rebuild"
+}
 
 // Repair revalidates the matching against the replica's current state and
 // returns the actions needed to restore the PRI. Planned insertions are
 // treated as satisfying their template row (the caller must execute them);
 // the next Repair then matches the actually-inserted rows.
+//
+// With UseIncremental configured this runs the delta-driven fast path;
+// otherwise the full-rebuild spec below.
 func (p *Planner) Repair(rep *sync.Replica) []Action {
+	if p.eng != nil {
+		return p.repairIncremental(rep)
+	}
+	return p.repairFull(rep)
+}
+
+// repairFull is the executable spec of one PRI repair: rebuild the
+// template×probable adjacency from scratch, seed the matching with the
+// previous assignment, and augment every free template row. The incremental
+// path must produce byte-identical actions and assignments; tests and the
+// planner's debug mode cross-check that.
+func (p *Planner) repairFull(rep *sync.Replica) []Action {
 	p.Repairs++
 	var prob []*model.Row
 	if p.idx != nil {
@@ -230,6 +288,141 @@ func (p *Planner) Repair(rep *sync.Replica) []Action {
 		}
 	}
 	return actions
+}
+
+// repairIncremental is the delta-driven fast path: the persistent adjacency
+// maintained by the deltaAdj listener replaces the per-call rebuild, and the
+// matching is re-seeded from the persisted assignment in O(|T|), so the only
+// per-|P| work left is the augmenting searches for templates a delta
+// actually freed. Step for step it mirrors repairFull — same seeding rule,
+// same template order, same sorted-by-row-id exploration — so the two paths
+// produce identical actions and assignments.
+func (p *Planner) repairIncremental(rep *sync.Replica) []Action {
+	var preAssigned []model.RowID
+	var preRemoved []bool
+	if p.debug {
+		preAssigned = append([]model.RowID(nil), p.assigned...)
+		preRemoved = append([]bool(nil), p.removed...)
+	}
+
+	p.Repairs++
+	// Flush the index so every delta up to the replica's current state has
+	// reached the engine (Version is the cheapest flushing query).
+	p.idx.Version()
+	e := p.eng
+	e.beginRepair()
+
+	// Seed the matching with still-valid previous assignments (the spec's
+	// seeding step, against the engine's slots instead of a rebuilt row
+	// index).
+	for t := range p.tmpl.Rows {
+		if p.removed[t] {
+			continue
+		}
+		id := p.assigned[t]
+		if id == "" {
+			continue
+		}
+		s, ok := e.rowSlot[id]
+		if !ok || !e.live[s] || e.slotHolder(s) != -1 ||
+			!p.tmpl.MatchCandidate(p.tmpl.Rows[t], e.slots[s].Vec) {
+			continue
+		}
+		e.match(t, s)
+	}
+
+	// Augment every free template row, in template order.
+	free := e.freeT[:0]
+	for t := range p.tmpl.Rows {
+		if p.removed[t] || e.matchT[t] != -1 {
+			continue
+		}
+		p.Augments++
+		if !e.augment(t) {
+			free = append(free, t)
+		}
+	}
+	e.freeT = free
+
+	// Handle templates that no existing probable row can satisfy — the same
+	// insert / shuffle / remove ladder as the spec.
+	var actions []Action
+	for _, t := range free {
+		if p.insertable(rep, t) {
+			actions = append(actions, p.insertAction(t))
+			continue
+		}
+		shuffled := false
+		for t2 := range p.tmpl.Rows {
+			if t2 == t || p.removed[t2] || e.matchT[t2] == -1 || !p.insertable(rep, t2) {
+				continue
+			}
+			saved := e.matchT[t2]
+			e.matchT[t2] = -1
+			e.unmatchSlot(saved)
+			p.Augments++
+			if e.augment(t) {
+				actions = append(actions, p.insertAction(t2))
+				shuffled = true
+				break
+			}
+			e.match(t2, saved)
+		}
+		if shuffled {
+			continue
+		}
+		p.removed[t] = true
+		p.Removals++
+		e.removeTemplate(t)
+		actions = append(actions, Action{Kind: ActionRemoveTemplate, Template: t})
+	}
+
+	// Persist the assignment for the next repair.
+	for t := range p.tmpl.Rows {
+		if p.removed[t] || e.matchT[t] == -1 {
+			p.assigned[t] = ""
+		} else {
+			p.assigned[t] = e.slots[e.matchT[t]].ID
+		}
+	}
+
+	if p.debug {
+		p.crossCheckRepair(rep, preAssigned, preRemoved, actions)
+	}
+	return actions
+}
+
+// crossCheckRepair replays the repair just performed through the
+// full-rebuild spec, starting from the captured pre-repair state, and panics
+// if the spec's actions, assignment, or removals differ (debug mode only).
+func (p *Planner) crossCheckRepair(rep *sync.Replica, preAssigned []model.RowID, preRemoved []bool, actions []Action) {
+	spec := &Planner{
+		tmpl:     p.tmpl,
+		score:    p.score,
+		removed:  preRemoved,
+		assigned: preAssigned,
+	}
+	specActions := spec.repairFull(rep)
+	if len(specActions) != len(actions) {
+		panic(fmt.Sprintf("constraint: incremental repair divergence: %d actions, spec %d (incr %v, spec %v)",
+			len(actions), len(specActions), actions, specActions))
+	}
+	for i := range actions {
+		a, b := actions[i], specActions[i]
+		if a.Kind != b.Kind || a.Template != b.Template || a.Upvote != b.Upvote || !a.Seed.Equal(b.Seed) {
+			panic(fmt.Sprintf("constraint: incremental repair divergence at action %d: incr %+v, spec %+v", i, a, b))
+		}
+	}
+	for t := range p.assigned {
+		if p.assigned[t] != spec.assigned[t] {
+			panic(fmt.Sprintf("constraint: incremental repair divergence: template %d assigned %q, spec %q",
+				t, p.assigned[t], spec.assigned[t]))
+		}
+		if p.removed[t] != spec.removed[t] {
+			panic(fmt.Sprintf("constraint: incremental repair divergence: template %d removed=%v, spec %v",
+				t, p.removed[t], spec.removed[t]))
+		}
+	}
 }
 
 func (p *Planner) insertAction(t int) Action {

@@ -49,15 +49,22 @@ type TableIndex struct {
 	probable map[RowID]*Row
 	final    map[string]*Row // key -> final-table winner
 
-	dirtyKeys map[string]struct{}
-	dirtyFree map[RowID]struct{}
-	pending   bool // a structural change happened since the last flush
+	// Dirty tracking is a dedup map plus an insertion-ordered queue; flush
+	// walks the queue, never the map, so its cost is O(dirty entries) even
+	// after a burst has grown the map's capacity (Go map iteration costs
+	// O(capacity), which would otherwise leak the burst size into every
+	// later flush).
+	dirtyKeys  map[string]struct{}
+	dirtyKeyQ  []string
+	dirtyFree  map[RowID]struct{}
+	dirtyFreeQ []RowID
+	pending    bool // a structural change happened since the last flush
 
 	version     uint64
 	sortedProb  []*Row
 	sortedFinal []*Row
 
-	listener ProbableDeltaListener
+	listeners []ProbableDeltaListener
 
 	debug bool
 }
@@ -83,12 +90,62 @@ type ProbableDeltaListener interface {
 	IndexReset()
 }
 
-// SetDeltaListener attaches a probable-set delta listener (nil detaches).
-// Pending changes are flushed first, so the listener observes only deltas
-// applied after attachment; callers seed initial state from Probable().
-func (x *TableIndex) SetDeltaListener(l ProbableDeltaListener) {
+// AddDeltaListener appends a probable-set delta listener to the index's
+// delivery registry. Several independent aggregates follow the same delta
+// stream (the estimator's denominator tallies, the planner's persistent
+// template adjacency), so the registry is a multicast with documented
+// semantics:
+//
+//   - Each delta is delivered to every registered listener, in registration
+//     order, before the next delta is produced — listeners therefore observe
+//     identical, identically-ordered streams.
+//   - Pending index changes are flushed before registration, so a new
+//     listener observes only deltas applied after attachment; callers seed
+//     initial state from Probable().
+//   - Listeners must not register or remove listeners, and must not call
+//     back into the index's query methods, from inside a callback.
+func (x *TableIndex) AddDeltaListener(l ProbableDeltaListener) {
 	x.flush()
-	x.listener = l
+	x.listeners = append(x.listeners, l)
+}
+
+// RemoveDeltaListener detaches a previously-registered listener (identified
+// by interface identity). Removing a listener that is not registered is a
+// no-op. Delivery order of the remaining listeners is preserved.
+func (x *TableIndex) RemoveDeltaListener(l ProbableDeltaListener) {
+	x.flush()
+	for i, have := range x.listeners {
+		if have == l {
+			x.listeners = append(x.listeners[:i], x.listeners[i+1:]...)
+			return
+		}
+	}
+}
+
+// --- multicast dispatch helpers ---
+
+func (x *TableIndex) notifyAdded(r *Row) {
+	for _, l := range x.listeners {
+		l.ProbableAdded(r)
+	}
+}
+
+func (x *TableIndex) notifyRemoved(r *Row) {
+	for _, l := range x.listeners {
+		l.ProbableRemoved(r)
+	}
+}
+
+func (x *TableIndex) notifyUpdated(r *Row) {
+	for _, l := range x.listeners {
+		l.ProbableUpdated(r)
+	}
+}
+
+func (x *TableIndex) notifyReset() {
+	for _, l := range x.listeners {
+		l.IndexReset()
+	}
 }
 
 // NewTableIndex builds an index over the table's current contents and keeps
@@ -153,6 +210,22 @@ func (x *TableIndex) KeyStat(key string) (KeyStat, bool) {
 	return *st, true
 }
 
+// markKeyDirty queues key k for recomputation at the next flush.
+func (x *TableIndex) markKeyDirty(k string) {
+	if _, ok := x.dirtyKeys[k]; !ok {
+		x.dirtyKeys[k] = struct{}{}
+		x.dirtyKeyQ = append(x.dirtyKeyQ, k)
+	}
+}
+
+// markFreeDirty queues key-incomplete row id for recomputation.
+func (x *TableIndex) markFreeDirty(id RowID) {
+	if _, ok := x.dirtyFree[id]; !ok {
+		x.dirtyFree[id] = struct{}{}
+		x.dirtyFreeQ = append(x.dirtyFreeQ, id)
+	}
+}
+
 // --- observer surface (sync.Replica drives these) ---
 
 // RowAdded registers a row newly inserted into the table.
@@ -165,10 +238,10 @@ func (x *TableIndex) RowAdded(r *Row) {
 			x.byKey[k] = g
 		}
 		g[r.ID] = r
-		x.dirtyKeys[k] = struct{}{}
+		x.markKeyDirty(k)
 	} else {
 		x.free[r.ID] = r
-		x.dirtyFree[r.ID] = struct{}{}
+		x.markFreeDirty(r.ID)
 	}
 }
 
@@ -178,9 +251,7 @@ func (x *TableIndex) RowRemoved(r *Row) {
 		delete(x.probable, r.ID)
 		x.pending = true
 		x.sortedProb = nil
-		if x.listener != nil {
-			x.listener.ProbableRemoved(r)
-		}
+		x.notifyRemoved(r)
 	}
 	if r.Vec.KeyComplete(x.s) {
 		k := r.Vec.KeyOf(x.s)
@@ -190,9 +261,11 @@ func (x *TableIndex) RowRemoved(r *Row) {
 				delete(x.byKey, k)
 			}
 		}
-		x.dirtyKeys[k] = struct{}{}
+		x.markKeyDirty(k)
 	} else {
 		delete(x.free, r.ID)
+		// The queue may keep a stale entry; flush skips ids absent from the
+		// dedup map.
 		delete(x.dirtyFree, r.ID)
 	}
 }
@@ -200,9 +273,9 @@ func (x *TableIndex) RowRemoved(r *Row) {
 // RowVotesChanged registers a change to a row's vote counts.
 func (x *TableIndex) RowVotesChanged(r *Row) {
 	if r.Vec.KeyComplete(x.s) {
-		x.dirtyKeys[r.Vec.KeyOf(x.s)] = struct{}{}
+		x.markKeyDirty(r.Vec.KeyOf(x.s))
 	} else {
-		x.dirtyFree[r.ID] = struct{}{}
+		x.markFreeDirty(r.ID)
 	}
 }
 
@@ -211,16 +284,16 @@ func (x *TableIndex) RowVotesChanged(r *Row) {
 func (x *TableIndex) TableReset(c *Candidate) {
 	x.c = c
 	x.s = c.Schema()
-	if x.listener != nil {
-		x.listener.IndexReset()
-	}
+	x.notifyReset()
 	x.byKey = make(map[string]map[RowID]*Row)
 	x.free = make(map[RowID]*Row)
 	x.stats = make(map[string]*KeyStat)
 	x.probable = make(map[RowID]*Row)
 	x.final = make(map[string]*Row)
 	x.dirtyKeys = make(map[string]struct{})
+	x.dirtyKeyQ = x.dirtyKeyQ[:0]
 	x.dirtyFree = make(map[RowID]struct{})
+	x.dirtyFreeQ = x.dirtyFreeQ[:0]
 	x.sortedProb, x.sortedFinal = nil, nil
 	x.version++
 	c.Each(func(r *Row) { x.RowAdded(r) })
@@ -238,32 +311,36 @@ func (x *TableIndex) flush() {
 	changed := x.pending
 	x.pending = false
 
-	for id := range x.dirtyFree {
+	for _, id := range x.dirtyFreeQ {
+		if _, dirty := x.dirtyFree[id]; !dirty {
+			continue // removed from the dirty set since it was queued
+		}
 		delete(x.dirtyFree, id)
 		r, ok := x.free[id]
 		want := ok && x.f(r.Up, r.Down) == 0
 		if prev, in := x.probable[id]; in != want {
 			if want {
 				x.probable[id] = r
-				if x.listener != nil {
-					x.listener.ProbableAdded(r)
-				}
+				x.notifyAdded(r)
 			} else {
 				delete(x.probable, id)
-				if x.listener != nil {
-					x.listener.ProbableRemoved(prev)
-				}
+				x.notifyRemoved(prev)
 			}
 			changed = true
 		}
 	}
+	x.dirtyFreeQ = x.dirtyFreeQ[:0]
 
-	for k := range x.dirtyKeys {
+	for _, k := range x.dirtyKeyQ {
+		if _, dirty := x.dirtyKeys[k]; !dirty {
+			continue
+		}
 		delete(x.dirtyKeys, k)
 		if x.flushKey(k) {
 			changed = true
 		}
 	}
+	x.dirtyKeyQ = x.dirtyKeyQ[:0]
 
 	if changed {
 		x.version++
@@ -332,22 +409,16 @@ func (x *TableIndex) flushKey(k string) bool {
 		switch {
 		case in != want && want:
 			x.probable[r.ID] = r
-			if x.listener != nil {
-				x.listener.ProbableAdded(r)
-			}
+			x.notifyAdded(r)
 			changed = true
 		case in != want:
 			delete(x.probable, r.ID)
-			if x.listener != nil {
-				x.listener.ProbableRemoved(r)
-			}
+			x.notifyRemoved(r)
 			changed = true
 		case in:
 			// Still probable, but the group was dirty: its votes may have
 			// moved, which denominator aggregates care about.
-			if x.listener != nil {
-				x.listener.ProbableUpdated(r)
-			}
+			x.notifyUpdated(r)
 		}
 	}
 	return changed

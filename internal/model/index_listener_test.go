@@ -53,7 +53,7 @@ func TestDeltaListenerTracksProbable(t *testing.T) {
 	idx := NewTableIndex(c, MajorityShortcut(3))
 	idx.SetDebug(true)
 	sh := &shadowListener{t: t, rows: make(map[RowID]*Row)}
-	idx.SetDeltaListener(sh)
+	idx.AddDeltaListener(sh)
 
 	rng := rand.New(rand.NewSource(3))
 	cells := []string{"", "a", "b", "c"}
@@ -105,5 +105,142 @@ func TestDeltaListenerTracksProbable(t *testing.T) {
 	}
 	if sh.resets == 0 {
 		t.Fatal("op mix never exercised IndexReset")
+	}
+}
+
+// logEvent is one delta callback observed by a loggingListener.
+type logEvent struct {
+	listener string
+	kind     string
+	row      RowID
+}
+
+// loggingListener wraps a shadowListener and appends every callback to a
+// shared log so tests can assert cross-listener delivery order.
+type loggingListener struct {
+	shadowListener
+	name string
+	log  *[]logEvent
+}
+
+func (l *loggingListener) ProbableAdded(r *Row) {
+	*l.log = append(*l.log, logEvent{l.name, "add", r.ID})
+	l.shadowListener.ProbableAdded(r)
+}
+
+func (l *loggingListener) ProbableRemoved(r *Row) {
+	*l.log = append(*l.log, logEvent{l.name, "remove", r.ID})
+	l.shadowListener.ProbableRemoved(r)
+}
+
+func (l *loggingListener) ProbableUpdated(r *Row) {
+	*l.log = append(*l.log, logEvent{l.name, "update", r.ID})
+	l.shadowListener.ProbableUpdated(r)
+}
+
+func (l *loggingListener) IndexReset() {
+	*l.log = append(*l.log, logEvent{l.name, "reset", ""})
+	l.shadowListener.IndexReset()
+}
+
+// TestTwoDeltaListeners registers two listeners and checks the multicast
+// contract: every delta is delivered to both, in registration order, with
+// each delta fully delivered before the next begins — so both shadows track
+// the probable set exactly and the shared log alternates a/b pairwise.
+func TestTwoDeltaListeners(t *testing.T) {
+	s := MustSchema("KV", []Column{
+		{Name: "k", Type: TypeString},
+		{Name: "v", Type: TypeString},
+	}, "k")
+	c := NewCandidate(s)
+	idx := NewTableIndex(c, MajorityShortcut(3))
+	idx.SetDebug(true)
+
+	var log []logEvent
+	a := &loggingListener{shadowListener: shadowListener{t: t, rows: make(map[RowID]*Row)}, name: "a", log: &log}
+	b := &loggingListener{shadowListener: shadowListener{t: t, rows: make(map[RowID]*Row)}, name: "b", log: &log}
+	idx.AddDeltaListener(a)
+	idx.AddDeltaListener(b)
+
+	rng := rand.New(rand.NewSource(7))
+	cells := []string{"", "a", "b", "c"}
+	nextID := 0
+
+	check := func(step int) {
+		t.Helper()
+		prob := idx.Probable()
+		for _, sh := range []*loggingListener{a, b} {
+			if len(prob) != len(sh.rows) {
+				t.Fatalf("step %d: listener %s holds %d rows, index %d", step, sh.name, len(sh.rows), len(prob))
+			}
+			for _, r := range prob {
+				if sh.rows[r.ID] != r {
+					t.Fatalf("step %d: listener %s missing probable row %s", step, sh.name, r.ID)
+				}
+			}
+		}
+		if len(log)%2 != 0 {
+			t.Fatalf("step %d: odd event count %d — a delta skipped a listener", step, len(log))
+		}
+		for i := 0; i < len(log); i += 2 {
+			ea, eb := log[i], log[i+1]
+			if ea.listener != "a" || eb.listener != "b" {
+				t.Fatalf("step %d: events %d/%d delivered out of registration order: %+v %+v", step, i, i+1, ea, eb)
+			}
+			if ea.kind != eb.kind || ea.row != eb.row {
+				t.Fatalf("step %d: events %d/%d diverge between listeners: %+v %+v", step, i, i+1, ea, eb)
+			}
+		}
+		log = log[:0]
+	}
+
+	for step := 0; step < 400; step++ {
+		rows := c.Rows()
+		switch op := rng.Intn(10); {
+		case op < 4 || len(rows) == 0:
+			nextID++
+			r := &Row{
+				ID:  RowID(fmt.Sprintf("r-%03d", nextID)),
+				Vec: VectorOf(cells[rng.Intn(len(cells))], cells[rng.Intn(len(cells))]),
+			}
+			c.Put(r)
+			idx.RowAdded(r)
+		case op < 8:
+			r := rows[rng.Intn(len(rows))]
+			if rng.Intn(2) == 0 {
+				r.Up++
+			} else {
+				r.Down++
+			}
+			idx.RowVotesChanged(r)
+		case op < 9:
+			r := rows[rng.Intn(len(rows))]
+			c.Delete(r.ID)
+			idx.RowRemoved(r)
+		default:
+			idx.TableReset(c)
+		}
+		check(step)
+	}
+	if a.resets == 0 || b.resets == 0 {
+		t.Fatal("op mix never exercised IndexReset")
+	}
+
+	// RemoveDeltaListener detaches by identity: after removal only b keeps
+	// receiving deltas.
+	idx.RemoveDeltaListener(a)
+	aRows := len(a.rows)
+	nextID++
+	// Partial row with zero votes: probable by rule 1 (score 0), so both
+	// listeners would see it — but a has been detached.
+	r := &Row{ID: RowID(fmt.Sprintf("r-%03d", nextID)), Vec: VectorOf("z", "")}
+	c.Put(r)
+	idx.RowAdded(r)
+	idx.Version()
+	if len(a.rows) != aRows {
+		t.Fatal("removed listener still receives deltas")
+	}
+	if b.rows[r.ID] != r {
+		t.Fatal("remaining listener missed delta after RemoveDeltaListener")
 	}
 }

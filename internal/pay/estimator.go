@@ -150,8 +150,13 @@ func (e *Estimator) TrackPerformance(on bool) { e.trackPerformance = on }
 // before any message is observed; the estimator seeds its tallies from the
 // index's current probable set and stays consistent through the deltas.
 func (e *Estimator) AttachIndex(idx *model.TableIndex) {
+	if e.incIdx != nil && e.inc != nil {
+		// Re-attachment: drop the old tracker's registration so the stale
+		// listener does not keep receiving (and double-counting) deltas.
+		e.incIdx.RemoveDeltaListener(e.inc)
+	}
 	e.inc = newDenomTracker(e.umin)
-	idx.SetDeltaListener(e.inc)
+	idx.AddDeltaListener(e.inc)
 	for _, r := range idx.Probable() {
 		e.inc.ProbableAdded(r)
 	}

@@ -168,7 +168,12 @@ func New(cfg Config) (*Core, error) {
 	c.index = model.NewTableIndex(c.master.Table(), score)
 	c.index.SetDebug(cfg.DebugCrossCheck)
 	c.master.SetObserver(c.index)
-	c.planner.UseIndex(c.index)
+	// Delta-driven PRI repair: the planner's persistent adjacency follows the
+	// index's probable-set deltas, so each repair costs O(delta), not table
+	// size. The full-rebuild path remains the executable spec; with
+	// DebugCrossCheck every repair is verified against it.
+	c.planner.UseIncremental(c.index)
+	c.planner.SetDebug(cfg.DebugCrossCheck)
 	c.start = cfg.Clock.Now()
 	c.lastTS = c.start
 	c.est = pay.NewEstimator(cfg.Schema, score, cfg.Scheme, cfg.Budget, cfg.Template, c.start)
@@ -262,6 +267,29 @@ func (c *Core) runCC() []sync.Message {
 // RepairOverruns returns how many times the Central Client's repair loop hit
 // its iteration cap without converging.
 func (c *Core) RepairOverruns() int { return c.repairOverruns }
+
+// RepairStats summarizes the Central Client's PRI-repair work over the run.
+type RepairStats struct {
+	Mode     string // planner repair path: "incremental" or "full-rebuild"
+	Repairs  int    // Repair calls
+	Augments int    // augmenting-path searches run
+	Inserts  int    // row insertions planned
+	Removals int    // template rows dropped (§4.2 last resort)
+	Overruns int    // repair loops that hit the iteration cap
+}
+
+// RepairStats returns the Central Client's repair counters (for reports and
+// experiment summaries).
+func (c *Core) RepairStats() RepairStats {
+	return RepairStats{
+		Mode:     c.planner.Mode(),
+		Repairs:  c.planner.Repairs,
+		Augments: c.planner.Augments,
+		Inserts:  c.planner.Inserts,
+		Removals: c.planner.Removals,
+		Overruns: c.repairOverruns,
+	}
+}
 
 // checkDone evaluates the completion condition: the final table derived from
 // the master copy satisfies the (active) constraint template.

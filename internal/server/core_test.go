@@ -532,3 +532,54 @@ func TestNetServerHandlerRejectsMissingWorker(t *testing.T) {
 		t.Fatalf("missing worker = %d", resp.StatusCode)
 	}
 }
+
+// TestRepairStatsAndCrossCheck drives a small run with DebugCrossCheck on —
+// every incremental repair is replayed through the full-rebuild spec planner
+// and must agree exactly — and checks the RepairStats surface.
+func TestRepairStatsAndCrossCheck(t *testing.T) {
+	cfg := cardinalityConfig(t, 2)
+	cfg.DebugCrossCheck = true
+	r := newRig(t, cfg)
+	c1 := r.join("c1", "w1")
+	c2 := r.join("c2", "w2")
+
+	st := r.core.RepairStats()
+	if st.Mode != "incremental" {
+		t.Fatalf("mode = %q, want incremental", st.Mode)
+	}
+	if st.Repairs == 0 {
+		t.Fatalf("init must have run at least one repair")
+	}
+
+	// A fill followed by two downvotes forces the CC to insert a replacement
+	// row (exercising the incremental augment + insert path under the
+	// cross-check).
+	row := c1.Rows(nil)[0]
+	msgs, err := c1.Fill(row.ID, 0, "junk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.send("c1", msgs...)
+	bad := msgs[0].NewRow
+	for _, cl := range []struct {
+		id string
+		c  *client.Client
+	}{{"c2", c2}, {"c1", c1}} {
+		m, err := cl.c.Downvote(bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.send(cl.id, m)
+	}
+
+	got := r.core.RepairStats()
+	if got.Repairs <= st.Repairs || got.Augments == 0 || got.Inserts <= st.Inserts {
+		t.Fatalf("stats did not advance: before %+v, after %+v", st, got)
+	}
+	if got.Overruns != 0 {
+		t.Fatalf("unexpected repair overruns: %+v", got)
+	}
+	if !r.core.Planner().CheckPRI(r.core.Master()) {
+		t.Fatalf("PRI must hold")
+	}
+}

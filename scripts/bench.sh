@@ -1,16 +1,20 @@
 #!/bin/sh
 # Runs the hot-path and experiment benchmarks and writes the scaling
-# acceptance metrics: BENCH_fanout.json (end-to-end server fan-out) and
+# acceptance metrics: BENCH_fanout.json (end-to-end server fan-out),
 # BENCH_broadcast.json (per-message handle+publish cost on the broadcast log,
-# with allocations).
+# with allocations), and BENCH_planner.json (PRI repair cost per message,
+# full-rebuild spec vs delta-driven incremental, across probable-set and
+# template sizes).
 set -eu
 cd "$(dirname "$0")/.."
 
 OUT=BENCH_fanout.json
 BOUT=BENCH_broadcast.json
+POUT=BENCH_planner.json
 RAW=$(mktemp)
 BRAW=$(mktemp)
-trap 'rm -f "$RAW" "$BRAW"' EXIT
+PRAW=$(mktemp)
+trap 'rm -f "$RAW" "$BRAW" "$PRAW"' EXIT
 
 echo "== server fan-out =="
 go test -run '^$' -bench 'BenchmarkAblationServerFanout' -benchmem -benchtime "${FANOUT_BENCHTIME:-10x}" . | tee "$RAW"
@@ -20,6 +24,9 @@ go test -run '^$' -bench 'BenchmarkBroadcastHandlePublish' -benchmem -benchtime 
 
 echo "== probable rows =="
 go test -run '^$' -bench 'BenchmarkProbable' -benchtime "${PROBABLE_BENCHTIME:-20x}" ./internal/constraint/
+
+echo "== planner repair (full vs incremental) =="
+go test -run '^$' -bench 'BenchmarkPlannerRepair' -benchmem -benchtime "${PLANNER_BENCHTIME:-200x}" ./internal/constraint/ | tee "$PRAW"
 
 echo "== experiments E1-E6 =="
 go test -run '^$' -bench 'BenchmarkE[1-6]' -benchtime 1x .
@@ -50,3 +57,25 @@ echo "wrote $OUT"
 
 extract "$BRAW" BenchmarkBroadcastHandlePublish > "$BOUT"
 echo "wrote $BOUT"
+
+# Planner sub-benchmarks carry three name parameters
+# (mode=<full|incr>/rows=<n>/tmpl=<n>); parse them individually.
+awk '
+$1 ~ "^BenchmarkPlannerRepair/" {
+    split($1, segs, "/")
+    split(segs[2], m, "=")
+    split(segs[3], r, "=")
+    split(segs[4], tp, "=")
+    sub(/-.*/, "", tp[2])
+    ns = allocs = "null"
+    for (i = 3; i < NF; i++) {
+        if ($(i+1) == "ns/op") ns = $i
+        if ($(i+1) == "allocs/op") allocs = $i
+    }
+    if (n++) printf ",\n"
+    printf "  {\"mode\": \"%s\", \"rows\": %s, \"tmpl\": %s, \"ns_per_op\": %s, \"allocs_per_op\": %s}", m[2], r[2], tp[2], ns, allocs
+}
+BEGIN { printf "[\n" }
+END   { printf "\n]\n" }
+' "$PRAW" > "$POUT"
+echo "wrote $POUT"
