@@ -4,7 +4,7 @@ GO ?= go
 # or local deep runs override, e.g. `make fuzz-smoke FUZZTIME=5m`.
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet lint fuzz-smoke verify bench
+.PHONY: build test race vet lint fuzz-smoke verify bench bench-gate
 
 build:
 	$(GO) build ./...
@@ -30,14 +30,23 @@ fuzz-smoke:
 	$(GO) test ./internal/wsock -fuzz FuzzFrameParse -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/wsock -fuzz FuzzFrameRoundTrip -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/sync -fuzz FuzzMessageDecode -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/sync -fuzz FuzzCodecDifferential -fuzztime $(FUZZTIME)
 
 # verify is the tier-1 gate plus static analysis, the invariant suite, the
 # race detector, and a short fuzz smoke.
 verify: build vet lint test race fuzz-smoke
 
-# bench runs the hot-path benchmarks (server fan-out, broadcast publish,
-# probable-row scan, PRI repair full-vs-incremental) and the paper's E1-E6
-# experiment benchmarks, writing BENCH_fanout.json, BENCH_broadcast.json,
-# and BENCH_planner.json.
+# bench runs the hot-path benchmarks (server fan-out, e2e WebSocket latency,
+# broadcast publish, probable-row scan, PRI repair full-vs-incremental) and
+# the paper's E1-E6 experiment benchmarks, writing BENCH_fanout.json,
+# BENCH_e2e.json, BENCH_broadcast.json, and BENCH_planner.json — then diffs
+# the fresh e2e numbers against the committed baseline.
 bench:
 	sh scripts/bench.sh
+	sh scripts/bench_gate.sh
+
+# bench-gate re-checks an existing BENCH_e2e.json against the committed
+# baseline (>20% p99 or allocs/op regression fails; tolerances via
+# P99_TOL/ALLOC_TOL).
+bench-gate:
+	sh scripts/bench_gate.sh

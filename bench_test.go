@@ -314,12 +314,17 @@ func BenchmarkAblationServerFanout(b *testing.B) {
 					}
 					workers[j] = w
 				}
-				for len(workers[0].Rows()) < rows {
+				// Epoch-before-scan, wait-after-miss: the epoch is read
+				// before each inspection, so a batch applied between the scan
+				// and the wait wakes the waiter instead of being missed.
+				w0 := workers[0]
+				for ep := w0.Epoch(); len(w0.Rows()) < rows; ep = w0.WaitChange(ep) {
 				}
 				for n := 0; n < rows; n++ {
 					w := workers[n%clients]
 					filled := false
 					for !filled {
+						ep := w.Epoch()
 						for _, r := range w.Rows() {
 							if r.Cells[0] == "" {
 								if err := w.Fill(r.ID, "k", fmt.Sprintf("key-%d", n)); err == nil {
@@ -327,6 +332,9 @@ func BenchmarkAblationServerFanout(b *testing.B) {
 								}
 								break
 							}
+						}
+						if !filled {
+							w.WaitChange(ep)
 						}
 					}
 				}

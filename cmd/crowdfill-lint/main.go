@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"crowdfill/internal/analysis"
+	"crowdfill/internal/analysis/bufown"
 	"crowdfill/internal/analysis/lockscope"
 	"crowdfill/internal/analysis/msgfield"
 	"crowdfill/internal/analysis/publishedmut"
@@ -36,6 +37,7 @@ func main() {
 	analyzers := []*analysis.Analyzer{
 		publishedmut.New(),
 		lockscope.New(),
+		bufown.New(),
 		msgfield.New(),
 		simdet.New(),
 	}

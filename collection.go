@@ -183,6 +183,17 @@ func (w *Worker) Done() bool { return w.runner.Done() }
 // Close disconnects the worker.
 func (w *Worker) Close() error { return w.runner.Close() }
 
+// Epoch returns the worker's replica change epoch. Read the epoch before
+// inspecting Rows; if the inspection did not find what it wanted, pass the
+// epoch to WaitChange to sleep until the next server batch lands.
+func (w *Worker) Epoch() uint64 { return w.runner.Epoch() }
+
+// WaitChange blocks until the replica has changed since epoch (or the link
+// closed) and returns the current epoch. Epoch/WaitChange replace polling
+// loops over Rows: the read-epoch-then-scan-then-wait pattern has no missed
+// wakeups because the epoch is bumped after every applied batch.
+func (w *Worker) WaitChange(epoch uint64) uint64 { return w.runner.WaitChange(epoch) }
+
 // Rows returns the worker's current view of the candidate table, sorted by
 // row id.
 func (w *Worker) Rows() []Row {

@@ -1,0 +1,16 @@
+package bufown_test
+
+import (
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"crowdfill/internal/analysis/analysistest"
+	"crowdfill/internal/analysis/bufown"
+)
+
+func TestBufown(t *testing.T) {
+	_, file, _, _ := runtime.Caller(0)
+	testdata := filepath.Join(filepath.Dir(file), "testdata")
+	analysistest.Run(t, testdata, bufown.New(), "e")
+}

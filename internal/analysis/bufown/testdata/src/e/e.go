@@ -1,0 +1,132 @@
+// Package e exercises the bufown analyzer: the lease protocol on
+// connection read buffers. The Conn type mirrors wsock.Conn's lease surface
+// (bufown matches lease methods by receiver type name).
+package e
+
+// Conn mimics a wsock connection with a reusable read buffer.
+type Conn struct{ rbuf []byte }
+
+func (c *Conn) ReadTextLease() ([]byte, error)          { return c.rbuf, nil }
+func (c *Conn) TryReadTextLease() ([]byte, bool, error) { return c.rbuf, false, nil }
+func (c *Conn) ReadText() ([]byte, error)               { return append([]byte(nil), c.rbuf...), nil }
+
+type holder struct{ buf []byte }
+
+var global []byte
+
+func use([]byte) {}
+
+// goodUseBeforeNextRead uses the lease within its validity window.
+func goodUseBeforeNextRead(c *Conn) error {
+	data, err := c.ReadTextLease()
+	if err != nil {
+		return err
+	}
+	use(data)
+	return nil
+}
+
+// goodCopyReturn takes ownership by copying into a fresh slice.
+func goodCopyReturn(c *Conn) []byte {
+	data, _ := c.ReadTextLease()
+	return append([]byte(nil), data...)
+}
+
+// goodStringCopy converts (which copies) before storing.
+func goodStringCopy(c *Conn, h *holder) {
+	data, _ := c.ReadTextLease()
+	h.buf = []byte(string(data))
+}
+
+// goodBatchLoop rebinds the lease each iteration before using it — the
+// transport.RecvBatch drain pattern.
+func goodBatchLoop(c *Conn) {
+	for {
+		data, ok, _ := c.TryReadTextLease()
+		if !ok {
+			return
+		}
+		use(data)
+	}
+}
+
+// goodReadTextRetain keeps ReadText's result: that method copies, so its
+// return value is the caller's to keep.
+func goodReadTextRetain(c *Conn, h *holder) {
+	data, _ := c.ReadText()
+	h.buf = data
+}
+
+func badReturn(c *Conn) []byte {
+	data, _ := c.ReadTextLease()
+	return data // want `returning a leased read buffer`
+}
+
+func badReturnSlice(c *Conn) []byte {
+	data, _ := c.ReadTextLease()
+	return data[1:] // want `returning a leased read buffer`
+}
+
+func badReturnAppendGrow(c *Conn) []byte {
+	data, _ := c.ReadTextLease()
+	return append(data, 0) // want `returning a leased read buffer`
+}
+
+func badReturnAlias(c *Conn) []byte {
+	data, _ := c.ReadTextLease()
+	alias := data
+	return alias // want `returning a leased read buffer`
+}
+
+func badFieldStore(c *Conn, h *holder) {
+	data, _ := c.ReadTextLease()
+	h.buf = data // want `stored outside the function`
+}
+
+func badGlobalStore(c *Conn) {
+	data, _ := c.ReadTextLease()
+	global = data // want `stored outside the function`
+}
+
+func badSliceElemStore(c *Conn, out [][]byte) {
+	data, _ := c.ReadTextLease()
+	out[0] = data // want `stored outside the function`
+}
+
+func badChannelSend(c *Conn, ch chan []byte) {
+	data, _ := c.ReadTextLease()
+	ch <- data // want `sent on a channel`
+}
+
+func badGoroutineCapture(c *Conn) {
+	data, _ := c.ReadTextLease()
+	go use(data) // want `captured by a spawned goroutine`
+}
+
+func badUseAfterNextLease(c *Conn) {
+	a, _ := c.ReadTextLease()
+	b, _ := c.ReadTextLease()
+	use(a) // want `after a later read invalidated the lease`
+	use(b)
+}
+
+func badUseAfterReadText(c *Conn) {
+	a, _ := c.ReadTextLease()
+	c.ReadText()
+	use(a) // want `after a later read invalidated the lease`
+}
+
+// badCrossIterationUse keeps the previous iteration's lease across the next
+// read call: the loop's own TryReadTextLease invalidates it (caught on the
+// second body walk, which sees the back edge).
+func badCrossIterationUse(c *Conn) {
+	var prev []byte
+	for {
+		data, ok, _ := c.TryReadTextLease()
+		if !ok {
+			return
+		}
+		use(prev) // want `after a later read invalidated the lease`
+		prev = data
+	}
+}

@@ -95,8 +95,9 @@ var acquires = map[string]map[string]string{
 // blockingConnMethods are methods that perform (or wait on) I/O when called
 // on a connection-like receiver (a type named Conn).
 var blockingConnMethods = map[string]bool{
-	"Send": true, "SendPrepared": true, "Recv": true,
+	"Send": true, "SendPrepared": true, "Recv": true, "RecvBatch": true,
 	"Read": true, "Write": true, "ReadText": true, "WriteText": true,
+	"ReadTextLease": true,
 }
 
 // New returns the lockscope analyzer.

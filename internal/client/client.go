@@ -111,6 +111,18 @@ func (c *Client) HandleServer(m sync.Message) error {
 	}
 }
 
+// HandleServerBatch processes a burst of server messages in order, stopping
+// at the first error. Replica mutations route through Replica.ApplyAll's
+// contract: the prefix before an error is applied.
+func (c *Client) HandleServerBatch(msgs []sync.Message) error {
+	for i := range msgs {
+		if err := c.HandleServer(msgs[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // stamp fills the bookkeeping fields on an outgoing message.
 func (c *Client) stamp(m *sync.Message) {
 	c.seq++

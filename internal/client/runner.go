@@ -11,32 +11,57 @@ import (
 // server messages into the client, and Do serializes worker actions with
 // that pump, sending the resulting messages upstream. This is the live-mode
 // counterpart of the simulation harness's direct calls.
+//
+// The pump drains the link in batches (transport.Conn.RecvBatch) and applies
+// each batch under one lock acquisition, bumping a change epoch once per
+// batch. Pollers use Epoch/WaitChange to sleep between replica changes
+// instead of spinning on View.
 type Runner struct {
-	mu   gosync.Mutex
-	c    *Client
-	conn transport.Conn
-	errc chan error
+	mu     gosync.Mutex
+	change *gosync.Cond // signalled on every epoch bump and on pump exit
+	c      *Client
+	conn   transport.Conn
+	errc   chan error
+
+	// epoch counts applied batches; stopped marks pump exit so waiters do
+	// not block forever on a dead link. Both are guarded by mu.
+	epoch   uint64
+	stopped bool
+
+	// batch is the pump-owned receive buffer, reused across RecvBatch calls.
+	batch []sync.Message
 }
 
 // NewRunner wraps a client and its server link and starts the receive pump.
 func NewRunner(c *Client, conn transport.Conn) *Runner {
-	r := &Runner{c: c, conn: conn, errc: make(chan error, 1)}
+	r := &Runner{c: c, conn: conn, errc: make(chan error, 1), batch: make([]sync.Message, 64)}
+	r.change = gosync.NewCond(&r.mu)
 	go r.pump()
 	return r
 }
 
 func (r *Runner) pump() {
+	defer func() {
+		r.mu.Lock()
+		r.stopped = true
+		r.mu.Unlock()
+		r.change.Broadcast()
+	}()
 	for {
-		m, err := r.conn.Recv()
+		n, err := r.conn.RecvBatch(r.batch)
+		if n > 0 {
+			r.mu.Lock()
+			aerr := r.c.HandleServerBatch(r.batch[:n])
+			r.epoch++
+			r.mu.Unlock()
+			r.change.Broadcast()
+			if aerr != nil {
+				r.errc <- aerr
+				return
+			}
+		}
 		if err != nil {
 			r.errc <- err
-			return
-		}
-		r.mu.Lock()
-		aerr := r.c.HandleServer(m)
-		r.mu.Unlock()
-		if aerr != nil {
-			r.errc <- aerr
 			return
 		}
 	}
@@ -65,6 +90,26 @@ func (r *Runner) View(fn func(*Client)) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	fn(r.c)
+}
+
+// Epoch returns the current change epoch. Read it before inspecting replica
+// state; if the inspection comes up empty, WaitChange(epoch) sleeps until
+// the state may have changed, with no missed-wakeup window.
+func (r *Runner) Epoch() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.epoch
+}
+
+// WaitChange blocks until the runner's epoch differs from epoch (a server
+// batch was applied) or the pump has stopped, and returns the current epoch.
+func (r *Runner) WaitChange(epoch uint64) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for r.epoch == epoch && !r.stopped {
+		r.change.Wait()
+	}
+	return r.epoch
 }
 
 // Done reports whether the server declared completion.

@@ -2,7 +2,7 @@ package model
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 )
 
@@ -111,7 +111,9 @@ func (c *Candidate) Rows() []*Row {
 	for _, r := range c.rows {
 		out = append(out, r)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	// slices.SortFunc, not sort.Slice: this runs on every table view, and
+	// the generic sort skips sort.Slice's reflect-based swapper.
+	slices.SortFunc(out, func(a, b *Row) int { return strings.Compare(string(a.ID), string(b.ID)) })
 	return out
 }
 

@@ -1,0 +1,312 @@
+package sync
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"crowdfill/internal/model"
+)
+
+// codecMessages is the shared table of messages exercising every field,
+// every omitempty boundary, string-escaping edge cases, and float rendering
+// edge cases. Both the encoder identity test and the decoder parity test run
+// over it.
+func codecMessages() []Message {
+	return []Message{
+		{},
+		{Type: MsgInsert, Row: "r1", NewRow: "r1"},
+		{Type: MsgReplace, Row: "r1", NewRow: "r2", Vec: model.VectorOf("a", ""), Origin: "c1", Worker: "w1", Seq: 7, TS: 42, Col: 1, Val: "a"},
+		{Type: MsgUpvote, Vec: model.VectorOf("", "b"), Auto: true},
+		{Type: MsgDownvote, Vec: model.Vector{}},                        // empty vec → omitted
+		{Type: MsgDone, Seq: -3, TS: -1, Col: -2},                       // negative ints survive omitempty
+		{Type: MsgType(-7), Row: "?", Val: "x"},                         // unknown negative type
+		{Type: MsgReplace, Vec: model.Vector{{}, {Set: true}}, Val: ""}, // unset + set-empty cells
+		// String escaping: quotes, backslashes, control bytes, HTML escapes,
+		// U+2028/U+2029, invalid UTF-8, multibyte runes.
+		{Type: MsgInsert, Val: `quote " backslash \ slash /`},
+		{Type: MsgInsert, Val: "tab\tnewline\ncr\rbell\x07null\x00"},
+		{Type: MsgInsert, Val: "<script>&amp;</script>"},
+		{Type: MsgInsert, Val: "line\u2028para\u2029sep"},
+		{Type: MsgInsert, Val: "bad utf8 \xff\xfe mid \xc3\x28 end"},
+		{Type: MsgInsert, Val: "héllo wörld 漢字 🙂"},
+		{Type: MsgInsert, Row: model.RowID("key with \" and \\ and \x1f")},
+		// Snapshots: nil and empty collections, multiple sorted map keys,
+		// rows with nil and populated vectors.
+		{Type: MsgSnapshot, Snapshot: &Snapshot{}},
+		{Type: MsgSnapshot, Snapshot: &Snapshot{
+			Rows:   []model.Row{},
+			UH:     map[string]int{},
+			DH:     map[string]int{},
+			UHVecs: map[string]model.Vector{},
+			DHVecs: map[string]model.Vector{},
+		}},
+		{Type: MsgSnapshot, Snapshot: &Snapshot{
+			Rows: []model.Row{
+				{ID: "r1", Vec: model.VectorOf("a", "b"), Up: 2, Down: 1},
+				{ID: "r2"}, // nil vector encodes as []
+				{ID: "r3", Vec: model.Vector{{}, {Set: true, Val: "x"}}, Up: -1},
+			},
+			UH:     map[string]int{"z": 1, "a": 2, "m": 3, "": 0},
+			DH:     map[string]int{"1|a": -5},
+			UHVecs: map[string]model.Vector{"z": model.VectorOf("z"), "a": nil, "m": {}},
+			DHVecs: map[string]model.Vector{"1|a": {{Set: true, Val: "a"}}},
+		}},
+		// Estimates: float rendering boundaries for the ES6-style encoder.
+		{Type: MsgEstimate, Estimates: &Estimates{}},
+		{Type: MsgEstimate, Estimates: &Estimates{
+			PerColumn: []float64{0, 1, -1, 0.1, 2.5, 1e-6, 9.9e-7, 1e-7, 1e20, 1e21, 1e22, -1e21,
+				1e-21, 123456789.123456789, math.MaxFloat64, math.SmallestNonzeroFloat64,
+				math.Copysign(0, -1), 3, 0.30000000000000004},
+			Upvote:   1e-9,
+			Downvote: -2.5e21,
+		}},
+		{Type: MsgEstimate, Estimates: &Estimates{PerColumn: []float64{}}},
+	}
+}
+
+// TestCodecWireByteIdentity proves the append-based encoder emits exactly
+// the bytes json.Marshal does, message by message.
+func TestCodecWireByteIdentity(t *testing.T) {
+	for i, m := range codecMessages() {
+		want, err := encodeMessageJSON(m)
+		if err != nil {
+			t.Fatalf("message %d: reference encode: %v", i, err)
+		}
+		got := AppendMessage(nil, m)
+		if !bytes.Equal(got, want) {
+			t.Errorf("message %d: wire bytes differ\n got: %s\nwant: %s", i, got, want)
+		}
+		got2, err := EncodeMessage(m)
+		if err != nil {
+			t.Fatalf("message %d: EncodeMessage: %v", i, err)
+		}
+		if !bytes.Equal(got2, want) {
+			t.Errorf("message %d: EncodeMessage differs from json.Marshal", i)
+		}
+	}
+}
+
+// TestCodecAppendPreservesPrefix checks AppendMessage really appends.
+func TestCodecAppendPreservesPrefix(t *testing.T) {
+	prefix := []byte("PREFIX")
+	out := AppendMessage(append([]byte(nil), prefix...), Message{Type: MsgDone})
+	if !bytes.HasPrefix(out, prefix) {
+		t.Fatalf("prefix clobbered: %s", out)
+	}
+	if string(out[len(prefix):]) != `{"type":6}` {
+		t.Fatalf("appended bytes = %s", out[len(prefix):])
+	}
+}
+
+// TestCodecEncodeNonFinite: json.Marshal rejects NaN/Inf; EncodeMessage must
+// as well.
+func TestCodecEncodeNonFinite(t *testing.T) {
+	bad := []Message{
+		{Type: MsgEstimate, Estimates: &Estimates{Upvote: math.NaN()}},
+		{Type: MsgEstimate, Estimates: &Estimates{Downvote: math.Inf(1)}},
+		{Type: MsgEstimate, Estimates: &Estimates{PerColumn: []float64{0, math.Inf(-1)}}},
+	}
+	for i, m := range bad {
+		if _, err := encodeMessageJSON(m); err == nil {
+			t.Fatalf("message %d: reference encoder accepted non-finite float", i)
+		}
+		if _, err := EncodeMessage(m); err == nil {
+			t.Errorf("message %d: EncodeMessage accepted non-finite float", i)
+		}
+	}
+}
+
+// codecDecodeInputs are wire inputs — valid, degenerate, and malformed —
+// whose decode behavior must match json.Unmarshal exactly: same
+// accept/reject verdict, and identical resulting Message on accept.
+func codecDecodeInputs() []string {
+	return []string{
+		// Well-formed messages.
+		`{"type":1}`,
+		`{"type":2,"row":"r1","newRow":"r2","vec":["a",null],"origin":"c","worker":"w","seq":7,"ts":42,"auto":true,"col":1,"val":"a"}`,
+		`{"type":5,"snapshot":{"rows":[{"id":"r1","vec":["a"],"up":1,"down":0}],"uh":{"a":1},"dh":null,"uhVecs":{"a":["a"]},"dhVecs":null}}`,
+		`{"type":7,"estimates":{"perColumn":[0.5,1e-9,2.5e21],"upvote":0.1,"downvote":0.2}}`,
+		// Whitespace tolerance.
+		" \t\r\n {\"type\" : 1 , \"row\" :\n\"r\" } \n",
+		// Top-level null and null fields.
+		`null`,
+		`{"type":null,"row":null,"vec":null,"auto":null,"seq":null,"snapshot":null,"estimates":null}`,
+		`{"vec":null}`, // pointer-receiver UnmarshalJSON on addressable field runs → empty non-nil Vector
+		`{"snapshot":{"rows":null,"uh":{"k":null},"uhVecs":{"k":null}}}`,
+		`{"estimates":{"perColumn":[1,null,3],"upvote":null}}`,
+		`{"snapshot":{"rows":[null,{"id":"r"}]}}`, // null array element → zero Row
+		// Unknown fields skipped, any value shape.
+		`{"type":1,"bogus":{"deep":[1,"two",{"three":null},true]},"row":"r"}`,
+		`{"unknown":"only"}`,
+		// Case-insensitive fallback + exact-match priority + duplicate keys.
+		`{"TYPE":3}`,
+		`{"Type":3,"type":4}`,
+		`{"type":4,"TYPE":3}`,
+		`{"NEWROW":"x","newRow":"y"}`,
+		`{"newrow":"z"}`,
+		`{"type":1,"type":2}`, // duplicate key: last wins
+		// Kelvin sign (U+212A) folds to 'k' under EqualFold — exercises the
+		// non-ASCII fold path ("wor\u212aer" must match the "worker" field).
+		"{\"wor\u212aer\":\"w\"}",
+		// Number edge cases.
+		`{"seq":-0}`,
+		`{"seq":9223372036854775807}`,
+		`{"seq":9223372036854775808}`,    // int64 overflow → error both sides
+		`{"seq":1.0}`,                    // float syntax into int → error
+		`{"seq":1e2}`,                    // exponent into int → error
+		`{"ts":01}`,                      // leading zero → syntax error
+		`{"estimates":{"upvote":1e400}}`, // ParseFloat range error
+		`{"estimates":{"upvote":-1.5e-3}}`,
+		`{"estimates":{"upvote":5}}`,
+		// String edge cases: escapes, surrogates, lone surrogates, invalid
+		// UTF-8, control chars.
+		`{"val":"Aé三"}`,
+		`{"val":"😀"}`,
+		`{"val":"\ud83d"}`,
+		`{"val":"\ud83dx"}`,
+		`{"val":"\ude00\ud83dA"}`,
+		`{"val":"\ud83d\ude00"}`, // escaped surrogate pair
+		`{"val":"a\/b\"c\\d\be\ff\ng\rh\ti"}`,
+		`{"val":"\x41"}`, // invalid escape
+		`{"val":"\u12g4"}`,
+		`{"val":"\u"}`,
+		"{\"val\":\"raw\xffbytes\"}",
+		"{\"val\":\"ctrl\x01char\"}", // raw control char in string → error
+		`{"val":"unterminated`,
+		// Wrong-type values into fields.
+		`{"type":"1"}`,
+		`{"row":1}`,
+		`{"auto":"true"}`,
+		`{"vec":{"a":1}}`,
+		`{"vec":[1]}`,
+		`{"vec":["a",["b"]]}`,
+		`{"snapshot":[1]}`,
+		`{"snapshot":{"rows":{"a":1}}}`,
+		`{"snapshot":{"uh":[1]}}`,
+		`{"snapshot":{"uh":{"a":"b"}}}`,
+		`{"estimates":{"perColumn":["x"]}}`,
+		// Structural syntax errors.
+		``,
+		` `,
+		`not json`,
+		`{`,
+		`}`,
+		`{}`,
+		`{}x`,
+		`{} ` + "\x00",
+		`{"type":1,}`,
+		`{,"type":1}`,
+		`{"type" 1}`,
+		`{"type":1 "row":"r"}`,
+		`[{"type":1}]`,
+		`"just a string"`,
+		`123`,
+		`true`,
+		`nul`,
+		`nullx`,
+		`{"type":tru}`,
+		`{"vec":["a",]}`,
+		`{"vec":["a"`,
+		`{"seq":}`,
+		`{"seq":-}`,
+		`{"seq":1.}`,
+		`{"seq":1e}`,
+		`{"seq":1e+}`,
+		// Deep nesting just under and over json's 10000-depth scanner limit
+		// (inside an unknown field, so only skipValue sees it).
+		`{"x":` + strings.Repeat(`[`, 9998) + strings.Repeat(`]`, 9998) + `}`,
+		`{"x":` + strings.Repeat(`[`, 10001) + strings.Repeat(`]`, 10001) + `}`,
+	}
+}
+
+// TestCodecDecodeParity proves DecodeMessageInto accepts exactly what
+// json.Unmarshal accepts and yields an identical Message when it does.
+func TestCodecDecodeParity(t *testing.T) {
+	for i, in := range codecDecodeInputs() {
+		want, wantErr := decodeMessageJSON([]byte(in))
+		got, gotErr := DecodeMessage([]byte(in))
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Errorf("input %d %.60q: verdict mismatch: json err=%v, codec err=%v", i, in, wantErr, gotErr)
+			continue
+		}
+		if wantErr != nil {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("input %d %.60q: decoded message differs\n got: %#v\nwant: %#v", i, in, got, want)
+		}
+	}
+}
+
+// TestCodecDecodeDoesNotRetainInput: mutating the input buffer after decode
+// must not change the decoded message — the transport reuses read buffers.
+func TestCodecDecodeDoesNotRetainInput(t *testing.T) {
+	data := []byte(`{"type":2,"row":"row-id","vec":["alpha","beta"],"val":"esc\nval","snapshot":{"uh":{"key":1},"uhVecs":{"key":["k"]}}}`)
+	var m Message
+	if err := DecodeMessageInto(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	before, err := EncodeMessage(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		data[i] = 'Z'
+	}
+	after, err := EncodeMessage(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatalf("decoded message aliases input buffer:\nbefore: %s\n after: %s", before, after)
+	}
+}
+
+// TestCodecDecodeIntoResets: a reused target must not leak fields from the
+// previous decode.
+func TestCodecDecodeIntoResets(t *testing.T) {
+	var m Message
+	if err := DecodeMessageInto([]byte(`{"type":2,"row":"r","val":"v","auto":true,"snapshot":{}}`), &m); err != nil {
+		t.Fatal(err)
+	}
+	if err := DecodeMessageInto([]byte(`{"type":1}`), &m); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m, Message{Type: MsgInsert}) {
+		t.Fatalf("stale fields survived reuse: %#v", m)
+	}
+}
+
+// TestCodecEncodeAllocs: encoding into a pre-grown buffer allocates nothing
+// for snapshot-free messages (the hot path: every op message).
+func TestCodecEncodeAllocs(t *testing.T) {
+	m := Message{Type: MsgReplace, Row: "r1", NewRow: "r2", Vec: model.VectorOf("a", "b"),
+		Origin: "client-1", Worker: "w1", Seq: 123, TS: 456789, Col: 1, Val: "b"}
+	buf := make([]byte, 0, 512)
+	allocs := testing.AllocsPerRun(200, func() {
+		buf = AppendMessage(buf[:0], m)
+	})
+	if allocs != 0 {
+		t.Errorf("AppendMessage: %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestCodecDecodeAllocs: decoding a typical op message allocates only what
+// the message retains (strings + one vector), bounded well below
+// encoding/json's reflection machinery.
+func TestCodecDecodeAllocs(t *testing.T) {
+	data := []byte(`{"type":2,"row":"r1","newRow":"r2","vec":["a","b"],"origin":"client-1","worker":"w1","seq":123,"ts":456789,"col":1,"val":"b"}`)
+	var m Message
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := DecodeMessageInto(data, &m); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const maxAllocs = 10
+	if allocs > maxAllocs {
+		t.Errorf("DecodeMessageInto: %v allocs/op, want <= %d", allocs, maxAllocs)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"crowdfill/internal/model"
 
 	"bytes"
+	"reflect"
 	"testing"
 )
 
@@ -31,11 +32,25 @@ func FuzzMessageDecode(f *testing.F) {
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := DecodeMessage(data)
 		if err != nil {
-			return // malformed input is rejected, not round-tripped
+			// Malformed input is rejected, not round-tripped — but the
+			// hand-rolled decoder must reject exactly what the reference
+			// json decoder rejects.
+			if _, jerr := decodeMessageJSON(data); jerr == nil {
+				t.Fatalf("codec rejected input json.Unmarshal accepts: %v", err)
+			}
+			return
+		}
+		if jm, jerr := decodeMessageJSON(data); jerr != nil {
+			t.Fatalf("codec accepted input json.Unmarshal rejects: %v", jerr)
+		} else if !reflect.DeepEqual(m, jm) {
+			t.Fatalf("codec and json decode disagree:\ncodec: %#v\n json: %#v", m, jm)
 		}
 		enc, err := EncodeMessage(m)
 		if err != nil {
 			t.Fatalf("decoded message does not re-encode: %v", err)
+		}
+		if jenc, jerr := encodeMessageJSON(m); jerr != nil || !bytes.Equal(enc, jenc) {
+			t.Fatalf("codec and json encodings differ:\ncodec: %s\n json: %s (err=%v)", enc, jenc, jerr)
 		}
 		m2, err := DecodeMessage(enc)
 		if err != nil {
@@ -47,6 +62,44 @@ func FuzzMessageDecode(f *testing.F) {
 		}
 		if !bytes.Equal(enc, enc2) {
 			t.Fatalf("unstable round trip:\n first: %s\nsecond: %s", enc, enc2)
+		}
+	})
+}
+
+// FuzzCodecDifferential drives the hand-rolled codec and the encoding/json
+// reference over the same arbitrary input: accept/reject verdicts must
+// match, accepted inputs must decode to identical messages, and re-encoding
+// both must yield identical wire bytes. This is the standing proof that the
+// codec swap cannot change what any peer observes on the wire.
+func FuzzCodecDifferential(f *testing.F) {
+	for _, m := range codecMessages() {
+		if data, err := encodeMessageJSON(m); err == nil {
+			f.Add(data)
+		}
+	}
+	for _, in := range codecDecodeInputs() {
+		f.Add([]byte(in))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		jm, jerr := decodeMessageJSON(data)
+		var m Message
+		cerr := DecodeMessageInto(data, &m)
+		if (jerr == nil) != (cerr == nil) {
+			t.Fatalf("verdict mismatch on %q: json err=%v, codec err=%v", data, jerr, cerr)
+		}
+		if jerr != nil {
+			return
+		}
+		if !reflect.DeepEqual(m, jm) {
+			t.Fatalf("decode mismatch on %q:\ncodec: %#v\n json: %#v", data, m, jm)
+		}
+		jenc, jerr := encodeMessageJSON(jm)
+		if jerr != nil {
+			t.Fatalf("reference re-encode failed: %v", jerr)
+		}
+		cenc := AppendMessage(nil, m)
+		if !bytes.Equal(cenc, jenc) {
+			t.Fatalf("re-encode mismatch on %q:\ncodec: %s\n json: %s", data, cenc, jenc)
 		}
 	})
 }

@@ -195,6 +195,20 @@ func (r *Replica) UndoDownvote(v model.Vector) (Message, error) {
 // detection for snapshot caching: equal epochs imply identical state.
 func (r *Replica) Epoch() uint64 { return r.epoch }
 
+// ApplyAll applies a batch of messages in order, stopping at the first
+// error (the batch prefix before the error has been applied; convergence
+// only needs per-message atomicity). Batching exists so a receiver that
+// drained a burst of frames can apply them all under one lock acquisition
+// and wake downstream listeners once, instead of once per message.
+func (r *Replica) ApplyAll(msgs []Message) error {
+	for i := range msgs {
+		if err := r.Apply(msgs[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Apply processes a message received from the server or a client (paper
 // §2.4 "Processing received messages"). Snapshot, done and estimate messages
 // mutate nothing here.

@@ -24,6 +24,13 @@ type Conn interface {
 	SendPrepared(p *sync.Prepared) error
 	// Recv blocks until the next message arrives or the link closes.
 	Recv() (sync.Message, error)
+	// RecvBatch blocks until at least one message arrives, then fills dst
+	// with any further messages already available on the link without
+	// blocking, and returns how many were stored. A receiver draining
+	// bursts this way pays one wakeup for the whole burst instead of one
+	// per message. Same concurrency contract as Recv (no concurrent calls
+	// with Recv or itself); dst must be non-empty.
+	RecvBatch(dst []sync.Message) (int, error)
 	// Close shuts the link down; pending and future Recv calls fail.
 	Close() error
 }
@@ -93,25 +100,55 @@ func (p *pipeEnd) Recv() (sync.Message, error) {
 	}
 }
 
+// RecvBatch blocks for the first message, then drains whatever else is
+// already sitting in the channel buffer.
+func (p *pipeEnd) RecvBatch(dst []sync.Message) (int, error) {
+	if len(dst) == 0 {
+		return 0, errors.New("transport: RecvBatch with empty dst")
+	}
+	m, err := p.Recv()
+	if err != nil {
+		return 0, err
+	}
+	dst[0] = m
+	n := 1
+	for n < len(dst) {
+		select {
+		case m := <-p.in:
+			dst[n] = m
+			n++
+		default:
+			return n, nil
+		}
+	}
+	return n, nil
+}
+
 func (p *pipeEnd) Close() error {
 	p.shared.close()
 	return nil
 }
 
-// wsConn adapts a WebSocket connection to the message link interface.
+// wsConn adapts a WebSocket connection to the message link interface. The
+// encode buffer and the wsock read lease make steady-state Send and Recv
+// allocation-free apart from what a decoded message itself retains.
 type wsConn struct {
-	ws *wsock.Conn
+	ws   *wsock.Conn
+	ebuf []byte // reusable encode buffer; safe because Send calls never overlap
+	// pendingErr defers a read error hit mid-batch so RecvBatch can deliver
+	// the messages decoded before it; the next receive call returns it.
+	pendingErr error
 }
 
 // WrapWS returns a message link over an established WebSocket connection.
 func WrapWS(ws *wsock.Conn) Conn { return &wsConn{ws: ws} }
 
 func (w *wsConn) Send(m sync.Message) error {
-	data, err := sync.EncodeMessage(m)
-	if err != nil {
+	if err := sync.ValidateEncodable(m); err != nil {
 		return err
 	}
-	return w.ws.WriteText(data)
+	w.ebuf = sync.AppendMessage(w.ebuf[:0], m)
+	return w.ws.WriteText(w.ebuf)
 }
 
 // SendPrepared writes the shared RFC 6455 frame built once per broadcast
@@ -128,11 +165,56 @@ func (w *wsConn) SendPrepared(p *sync.Prepared) error {
 }
 
 func (w *wsConn) Recv() (sync.Message, error) {
-	data, err := w.ws.ReadText()
-	if err != nil {
+	var m sync.Message
+	if err := w.recvInto(&m); err != nil {
 		return sync.Message{}, err
 	}
-	return sync.DecodeMessage(data)
+	return m, nil
+}
+
+// recvInto decodes the next message straight out of the wsock read lease;
+// DecodeMessageInto copies everything it keeps, so the lease is not retained
+// past this call.
+func (w *wsConn) recvInto(m *sync.Message) error {
+	if err := w.pendingErr; err != nil {
+		w.pendingErr = nil
+		return err
+	}
+	data, err := w.ws.ReadTextLease()
+	if err != nil {
+		return err
+	}
+	return sync.DecodeMessageInto(data, m)
+}
+
+// RecvBatch blocks for the first message, then decodes every further frame
+// already buffered on the connection via the non-blocking lease. Errors hit
+// after the first decode are deferred to the next receive call so the batch
+// in hand is not lost.
+func (w *wsConn) RecvBatch(dst []sync.Message) (int, error) {
+	if len(dst) == 0 {
+		return 0, errors.New("transport: RecvBatch with empty dst")
+	}
+	if err := w.recvInto(&dst[0]); err != nil {
+		return 0, err
+	}
+	n := 1
+	for n < len(dst) {
+		data, ok, err := w.ws.TryReadTextLease()
+		if err != nil {
+			w.pendingErr = err
+			break
+		}
+		if !ok {
+			break
+		}
+		if err := sync.DecodeMessageInto(data, &dst[n]); err != nil {
+			w.pendingErr = err
+			break
+		}
+		n++
+	}
+	return n, nil
 }
 
 func (w *wsConn) Close() error { return w.ws.Close() }

@@ -112,3 +112,133 @@ func TestWSAdapterRoundTrip(t *testing.T) {
 		t.Fatalf("snapshot over wire = %+v, %v", snap, err)
 	}
 }
+
+// wsPair establishes a client/server link over a real socket for tests that
+// exercise the WebSocket adapter end to end.
+func wsPair(t *testing.T) (cli, srv Conn) {
+	t.Helper()
+	ready := make(chan Conn, 1)
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ws, err := wsock.Upgrade(w, r)
+		if err != nil {
+			return
+		}
+		ready <- WrapWS(ws)
+	}))
+	t.Cleanup(hs.Close)
+	ws, err := wsock.Dial("ws" + strings.TrimPrefix(hs.URL, "http"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli = WrapWS(ws)
+	t.Cleanup(func() { cli.Close() })
+	srv = <-ready
+	t.Cleanup(func() { srv.Close() })
+	return cli, srv
+}
+
+func TestPipeRecvBatch(t *testing.T) {
+	a, b := Pipe(16)
+	for i := 0; i < 5; i++ {
+		if err := a.Send(sync.Message{Seq: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dst := make([]sync.Message, 8)
+	n, err := b.RecvBatch(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Fatalf("RecvBatch drained %d messages, want 5", n)
+	}
+	for i := 0; i < n; i++ {
+		if dst[i].Seq != int64(i) {
+			t.Fatalf("batch out of order: dst[%d].Seq = %d", i, dst[i].Seq)
+		}
+	}
+	// A full dst stops the drain without losing messages.
+	for i := 0; i < 3; i++ {
+		a.Send(sync.Message{Seq: int64(10 + i)})
+	}
+	small := make([]sync.Message, 2)
+	if n, err := b.RecvBatch(small); err != nil || n != 2 {
+		t.Fatalf("bounded batch = %d, %v", n, err)
+	}
+	if m, err := b.Recv(); err != nil || m.Seq != 12 {
+		t.Fatalf("message after bounded batch = %+v, %v", m, err)
+	}
+	a.Close()
+	if _, err := b.RecvBatch(dst); !errors.Is(err, ErrPipeClosed) {
+		t.Fatalf("RecvBatch after close err = %v", err)
+	}
+}
+
+// TestWSRecvBatch: all messages sent before close arrive, in order, across
+// however many batches the socket timing produces, and the close surfaces as
+// an error only after the data is delivered.
+func TestWSRecvBatch(t *testing.T) {
+	cli, srv := wsPair(t)
+	const total = 25
+	for i := 0; i < total; i++ {
+		if err := cli.Send(sync.Message{Type: sync.MsgUpvote, Seq: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cli.Close()
+	var got []sync.Message
+	dst := make([]sync.Message, 8)
+	for {
+		n, err := srv.RecvBatch(dst)
+		got = append(got, dst[:n]...)
+		if err != nil {
+			if len(got) != total {
+				t.Fatalf("lost messages: got %d of %d before error %v", len(got), total, err)
+			}
+			break
+		}
+	}
+	for i, m := range got {
+		if m.Seq != int64(i) {
+			t.Fatalf("out of order: got[%d].Seq = %d", i, m.Seq)
+		}
+	}
+}
+
+// TestWSSendRecvAllocs: the full transport hot path — append-encode, pooled
+// single-write frame, lease read, in-place decode — is allocation-free in
+// steady state for messages that retain nothing (vote messages, the
+// dominant traffic). The client side includes masking; tolerance 1 covers
+// the amortized mask-pool refill.
+func TestWSSendRecvAllocs(t *testing.T) {
+	cli, srv := wsPair(t)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			m, err := srv.Recv()
+			if err != nil {
+				return
+			}
+			if err := srv.Send(m); err != nil {
+				return
+			}
+		}
+	}()
+	m := sync.Message{Type: sync.MsgUpvote, Seq: 42, TS: 7}
+	roundTrip := func() {
+		if err := cli.Send(m); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cli.Recv(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	roundTrip() // warm pooled buffers on both sides
+	allocs := testing.AllocsPerRun(300, roundTrip)
+	if allocs > 1 {
+		t.Errorf("Send+Recv round trip allocs/op = %v, want <= 1", allocs)
+	}
+	cli.Close()
+	<-done
+}

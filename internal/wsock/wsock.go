@@ -40,13 +40,33 @@ const (
 var ErrClosed = errors.New("wsock: connection closed")
 
 // Conn is one WebSocket connection.
+//
+// Buffer ownership: the read side assembles every text message into rbuf,
+// which ReadTextLease hands to the caller as a lease — valid only until the
+// next ReadText/ReadTextLease/TryReadTextLease call on this connection.
+// Control-frame payloads land in the separate cbuf, so a ping interleaved
+// with a fragmented message can never clobber the partially-assembled data
+// (RFC 6455 §5.4 allows that interleaving). The write side assembles
+// header+payload into wbuf under wmu and emits each frame with a single
+// Write. All buffers start nil and grow lazily, so a zero Conn with just nc
+// (and br for readers) works — the fuzz harness relies on that.
 type Conn struct {
 	nc     net.Conn
 	br     *bufio.Reader
 	client bool // client connections mask outgoing frames
 
+	// Read-side state; owned by the single reader goroutine.
+	rbuf    []byte  // reusable message-assembly buffer, leased to the caller
+	cbuf    []byte  // control-frame payload buffer (ping/pong/close)
+	scratch [8]byte // header/mask scratch; a field so io.ReadFull's interface call can't force a per-frame heap escape
+
 	wmu    gosync.Mutex
 	closed bool
+	wbuf   []byte // frame-assembly buffer: header + (masked) payload
+	// maskPool buffers crypto/rand output so client connections draw a
+	// 4-byte frame mask without a syscall per frame.
+	maskPool  [256]byte
+	maskAvail int
 }
 
 // AcceptKey computes the Sec-WebSocket-Accept value for a handshake key.
@@ -180,12 +200,19 @@ func Dial(rawURL string) (*Conn, error) {
 // WriteText sends one text message (fin, unfragmented).
 func (c *Conn) WriteText(p []byte) error { return c.writeFrame(opText, p) }
 
+// writeFrame assembles one FIN frame — header, mask key, payload — into the
+// connection's pooled write buffer and emits it with a single Write. One
+// write instead of two halves the syscalls per frame and keeps header and
+// payload in one TCP segment for small messages; the pooled buffer makes the
+// steady state allocation-free. Client frames mask in place while copying
+// into the buffer, with mask keys drawn from the buffered rand pool.
 func (c *Conn) writeFrame(opcode byte, p []byte) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
 	if c.closed && opcode != opClose {
 		return ErrClosed
 	}
+	buf := c.wbuf[:0]
 	var hdr [14]byte
 	hdr[0] = 0x80 | opcode // FIN set
 	n := 2
@@ -203,33 +230,68 @@ func (c *Conn) writeFrame(opcode byte, p []byte) error {
 	}
 	if c.client {
 		hdr[1] |= 0x80
-		var mask [4]byte
-		if _, err := rand.Read(mask[:]); err != nil {
-			return fmt.Errorf("wsock: mask: %w", err)
+		mask, err := c.nextMask()
+		if err != nil {
+			return err
 		}
 		copy(hdr[n:n+4], mask[:])
 		n += 4
-		masked := make([]byte, len(p))
-		for i := range p {
-			masked[i] = p[i] ^ mask[i%4]
+		buf = append(buf, hdr[:n]...)
+		buf = append(buf, p...)
+		body := buf[n:]
+		for i := range body {
+			body[i] ^= mask[i%4]
 		}
-		p = masked
+	} else {
+		buf = append(buf, hdr[:n]...)
+		buf = append(buf, p...)
 	}
-	if _, err := c.nc.Write(hdr[:n]); err != nil {
-		return err
-	}
-	_, err := c.nc.Write(p)
+	c.wbuf = buf // retain grown capacity for the next frame
+	_, err := c.nc.Write(buf)
 	return err
+}
+
+// nextMask returns a fresh 4-byte frame mask from the buffered crypto/rand
+// pool, refilling it with one syscall per 64 frames instead of one per
+// frame. Caller holds wmu.
+func (c *Conn) nextMask() ([4]byte, error) {
+	var m [4]byte
+	if c.maskAvail < 4 {
+		if _, err := rand.Read(c.maskPool[:]); err != nil {
+			return m, fmt.Errorf("wsock: mask: %w", err)
+		}
+		c.maskAvail = len(c.maskPool)
+	}
+	copy(m[:], c.maskPool[len(c.maskPool)-c.maskAvail:])
+	c.maskAvail -= 4
+	return m, nil
 }
 
 // ReadText reads the next text message, transparently answering pings and
 // assembling fragmented messages. It returns ErrClosed after the closing
-// handshake, and io.EOF-wrapped errors on abrupt connection loss.
+// handshake, and io.EOF-wrapped errors on abrupt connection loss. The
+// returned slice is the caller's to keep; allocation-sensitive readers use
+// ReadTextLease instead.
 func (c *Conn) ReadText() ([]byte, error) {
-	var msg []byte
+	p, err := c.ReadTextLease()
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), p...), nil
+}
+
+// ReadTextLease reads the next text message into the connection's reusable
+// read buffer and returns it without copying. The returned slice is a
+// lease: it is valid only until the next ReadText, ReadTextLease, or
+// TryReadTextLease call on this connection, which reuses the same backing
+// buffer. Callers that need the bytes longer must copy them first (see
+// DESIGN.md §11 for the ownership protocol; the bufown analyzer enforces
+// it).
+func (c *Conn) ReadTextLease() ([]byte, error) {
+	c.rbuf = c.rbuf[:0]
 	assembling := false
 	for {
-		opcode, fin, payload, err := c.readFrame()
+		opcode, fin, err := c.readFrameInto()
 		if err != nil {
 			return nil, err
 		}
@@ -239,89 +301,218 @@ func (c *Conn) ReadText() ([]byte, error) {
 				return nil, errors.New("wsock: new text frame during fragmented message")
 			}
 			if fin {
-				return payload, nil
+				return c.rbuf, nil
 			}
-			msg = append(msg[:0], payload...)
 			assembling = true
 		case opContinuation:
 			if !assembling {
 				return nil, errors.New("wsock: continuation without start")
 			}
-			msg = append(msg, payload...)
 			if fin {
-				return msg, nil
+				return c.rbuf, nil
 			}
 		case opBinary:
 			return nil, errors.New("wsock: unexpected binary frame")
 		case opPing:
-			if err := c.writeFrame(opPong, payload); err != nil {
+			// The pong echoes from cbuf through the pooled write buffer:
+			// no allocation, and no aliasing of the data being assembled
+			// in rbuf.
+			if err := c.writeFrame(opPong, c.cbuf); err != nil {
 				return nil, err
 			}
 		case opPong:
 			// ignore
 		case opClose:
-			c.wmu.Lock()
-			alreadyClosed := c.closed
-			c.closed = true
-			c.wmu.Unlock()
-			if !alreadyClosed {
-				// Echo the close to complete the handshake.
-				_ = c.writeFrame(opClose, payload)
-			}
-			c.nc.Close()
-			return nil, ErrClosed
+			return nil, c.handleClose()
 		default:
 			return nil, fmt.Errorf("wsock: unknown opcode %d", opcode)
 		}
 	}
 }
 
-func (c *Conn) readFrame() (opcode byte, fin bool, payload []byte, err error) {
-	var h [2]byte
-	if _, err = io.ReadFull(c.br, h[:]); err != nil {
-		return 0, false, nil, err
+// TryReadTextLease returns the next text message without blocking, but only
+// if a complete unfragmented text frame is already sitting in the read
+// buffer. Fully-buffered control frames are processed transparently (pongs
+// answered, close handshake completed). ok is false when nothing complete
+// is buffered — including fragmented or protocol-violating frames, which
+// are deferred to the next blocking read. The same lease discipline as
+// ReadTextLease applies.
+func (c *Conn) TryReadTextLease() (payload []byte, ok bool, err error) {
+	if c.br == nil {
+		return nil, false, nil
 	}
-	fin = h[0]&0x80 != 0
+	for {
+		opcode, fin, ready := c.peekFrame()
+		if !ready {
+			return nil, false, nil
+		}
+		switch {
+		case opcode == opText && fin:
+			c.rbuf = c.rbuf[:0]
+			// The frame is fully buffered, so this cannot block.
+			if _, _, err := c.readFrameInto(); err != nil {
+				return nil, false, err
+			}
+			return c.rbuf, true, nil
+		case opcode == opPing, opcode == opPong, opcode == opClose:
+			if _, _, err := c.readFrameInto(); err != nil {
+				return nil, false, err
+			}
+			switch opcode {
+			case opPing:
+				if err := c.writeFrame(opPong, c.cbuf); err != nil {
+					return nil, false, err
+				}
+			case opClose:
+				return nil, false, c.handleClose()
+			}
+		default:
+			return nil, false, nil
+		}
+	}
+}
+
+// peekFrame inspects the buffered bytes for one complete frame without
+// consuming anything and without touching the underlying connection (Peek
+// is only called with lengths at or below Buffered, so it cannot block).
+// ready is false when the frame is incomplete, too large to ever buffer, or
+// malformed — malformed frames are left for the blocking path to turn into
+// errors.
+func (c *Conn) peekFrame() (opcode byte, fin bool, ready bool) {
+	buffered := c.br.Buffered()
+	if buffered < 2 {
+		return 0, false, false
+	}
+	h, err := c.br.Peek(2)
+	if err != nil {
+		return 0, false, false
+	}
 	if h[0]&0x70 != 0 {
-		return 0, false, nil, errors.New("wsock: nonzero RSV bits")
+		return 0, false, false
 	}
 	opcode = h[0] & 0x0F
+	fin = h[0]&0x80 != 0
 	masked := h[1]&0x80 != 0
-	length := uint64(h[1] & 0x7F)
+	hdrLen := 2
+	switch h[1] & 0x7F {
+	case 126:
+		hdrLen += 2
+	case 127:
+		hdrLen += 8
+	}
+	if masked {
+		hdrLen += 4
+	}
+	if buffered < hdrLen {
+		return 0, false, false
+	}
+	full, err := c.br.Peek(hdrLen)
+	if err != nil {
+		return 0, false, false
+	}
+	var length uint64
+	switch h[1] & 0x7F {
+	case 126:
+		length = uint64(binary.BigEndian.Uint16(full[2:4]))
+	case 127:
+		length = binary.BigEndian.Uint64(full[2:10])
+	default:
+		length = uint64(h[1] & 0x7F)
+	}
+	if length > maxFrame {
+		return 0, false, false
+	}
+	if uint64(buffered-hdrLen) < length {
+		return 0, false, false
+	}
+	return opcode, fin, true
+}
+
+// handleClose completes the closing handshake after a close frame whose
+// payload is in cbuf, and always returns ErrClosed.
+func (c *Conn) handleClose() error {
+	c.wmu.Lock()
+	alreadyClosed := c.closed
+	c.closed = true
+	c.wmu.Unlock()
+	if !alreadyClosed {
+		// Echo the close to complete the handshake.
+		_ = c.writeFrame(opClose, c.cbuf)
+	}
+	c.nc.Close()
+	return ErrClosed
+}
+
+// maxFrame bounds a single frame's payload.
+const maxFrame = 64 << 20
+
+// readFrameInto reads one frame, appending data payloads (text,
+// continuation, binary) to rbuf — so fragment assembly is just consecutive
+// appends — and landing control payloads in cbuf. Both buffers are reused
+// across frames; the steady state allocates nothing.
+func (c *Conn) readFrameInto() (opcode byte, fin bool, err error) {
+	if _, err = io.ReadFull(c.br, c.scratch[:2]); err != nil {
+		return 0, false, err
+	}
+	h0, h1 := c.scratch[0], c.scratch[1]
+	fin = h0&0x80 != 0
+	if h0&0x70 != 0 {
+		return 0, false, errors.New("wsock: nonzero RSV bits")
+	}
+	opcode = h0 & 0x0F
+	masked := h1&0x80 != 0
+	length := uint64(h1 & 0x7F)
 	switch length {
 	case 126:
-		var ext [2]byte
-		if _, err = io.ReadFull(c.br, ext[:]); err != nil {
-			return 0, false, nil, err
+		if _, err = io.ReadFull(c.br, c.scratch[:2]); err != nil {
+			return 0, false, err
 		}
-		length = uint64(binary.BigEndian.Uint16(ext[:]))
+		length = uint64(binary.BigEndian.Uint16(c.scratch[:2]))
 	case 127:
-		var ext [8]byte
-		if _, err = io.ReadFull(c.br, ext[:]); err != nil {
-			return 0, false, nil, err
+		if _, err = io.ReadFull(c.br, c.scratch[:8]); err != nil {
+			return 0, false, err
 		}
-		length = binary.BigEndian.Uint64(ext[:])
+		length = binary.BigEndian.Uint64(c.scratch[:8])
 	}
-	const maxFrame = 64 << 20
 	if length > maxFrame {
-		return 0, false, nil, fmt.Errorf("wsock: frame of %d bytes exceeds limit", length)
+		return 0, false, fmt.Errorf("wsock: frame of %d bytes exceeds limit", length)
 	}
 	var mask [4]byte
 	if masked {
-		if _, err = io.ReadFull(c.br, mask[:]); err != nil {
-			return 0, false, nil, err
+		if _, err = io.ReadFull(c.br, c.scratch[:4]); err != nil {
+			return 0, false, err
 		}
+		copy(mask[:], c.scratch[:4])
 	}
-	payload = make([]byte, length)
+	var payload []byte
+	if opcode >= opClose {
+		c.cbuf = growLen(c.cbuf[:0], int(length))
+		payload = c.cbuf
+	} else {
+		start := len(c.rbuf)
+		c.rbuf = growLen(c.rbuf, int(length))
+		payload = c.rbuf[start:]
+	}
 	if _, err = io.ReadFull(c.br, payload); err != nil {
-		return 0, false, nil, err
+		return 0, false, err
 	}
 	if masked {
 		for i := range payload {
 			payload[i] ^= mask[i%4]
 		}
 	}
-	return opcode, fin, payload, nil
+	return opcode, fin, nil
+}
+
+// growLen extends b by n bytes (contents of the extension undefined),
+// reusing capacity when available.
+func growLen(b []byte, n int) []byte {
+	if cap(b)-len(b) >= n {
+		return b[:len(b)+n]
+	}
+	nb := make([]byte, len(b)+n, (len(b)+n)*2)
+	copy(nb, b)
+	return nb
 }
 
 // Ping sends a ping frame (liveness probes).

@@ -1,0 +1,198 @@
+package crowdfill
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"slices"
+	gosync "sync"
+	"testing"
+	"time"
+
+	"crowdfill/internal/client"
+	"crowdfill/internal/model"
+	csync "crowdfill/internal/sync"
+	"crowdfill/internal/transport"
+	"crowdfill/internal/wsock"
+)
+
+// BenchmarkFanoutLatency measures ingest→deliver latency end to end over the
+// real wire: a sender worker and N receiver workers all connect to the
+// collection over loopback WebSockets (codec + frame layer + transport, not
+// in-process pipes), the sender toggles one vote per iteration, and every
+// receiver records how long the resulting broadcast took to land in its
+// replica. The benchmark reports the latency distribution across all
+// (op, receiver) pairs as p50/p95/p99 custom metrics; run with -benchmem for
+// the per-op allocation count the regression gate tracks.
+//
+// The op is a downvote/undo-vote toggle on one partially-filled row: under
+// majority-K=3 scoring a single downvote leaves f(0,1)=0, so the row stays
+// probable and the Central Client stays quiet — each iteration broadcasts
+// exactly one replica-mutating message, which is what makes the per-receiver
+// epoch accounting below exact.
+func BenchmarkFanoutLatency(b *testing.B) {
+	for _, clients := range []int{2, 8, 32} {
+		b.Run(fmt.Sprintf("clients=%d", clients), func(b *testing.B) {
+			benchFanoutLatency(b, clients)
+		})
+	}
+}
+
+// replicaEpoch reads a worker's replica mutation counter (bumped once per
+// applied mutating message; snapshot loads count once).
+func replicaEpoch(w *Worker) uint64 {
+	var e uint64
+	w.runner.View(func(c *client.Client) { e = c.Replica().Epoch() })
+	return e
+}
+
+// dialWorker joins a worker to the collection over a real WebSocket.
+func dialWorker(b *testing.B, coll *Collection, addr net.Addr, id string) *Worker {
+	b.Helper()
+	ws, err := wsock.Dial(fmt.Sprintf("ws://%s/?worker=%s", addr, id))
+	if err != nil {
+		b.Fatalf("dial %s: %v", id, err)
+	}
+	cl, err := client.New(client.Config{ID: id, Worker: id, Schema: coll.schema})
+	if err != nil {
+		b.Fatalf("client %s: %v", id, err)
+	}
+	return &Worker{id: id, schema: coll.schema, runner: client.NewRunner(cl, transport.WrapWS(ws))}
+}
+
+func benchFanoutLatency(b *testing.B, clients int) {
+	const rows = 8
+	coll, err := NewCollection(Spec{
+		Name:        "T",
+		Columns:     []Column{{Name: "k"}, {Name: "v"}},
+		Key:         []string{"k"},
+		Cardinality: rows,
+		Scoring:     Scoring{Kind: "majority", K: 3},
+		Budget:      1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := &http.Server{Handler: coll.Handler()}
+	go srv.Serve(ln)
+	defer func() {
+		srv.Close()
+		coll.Close()
+	}()
+
+	sender := dialWorker(b, coll, ln.Addr(), "sender")
+	receivers := make([]*Worker, clients)
+	for j := range receivers {
+		receivers[j] = dialWorker(b, coll, ln.Addr(), fmt.Sprintf("r%d", j))
+	}
+	// Wait until every replica has the seeded table (the join snapshot).
+	for _, w := range append([]*Worker{sender}, receivers...) {
+		for ep := w.Epoch(); len(w.Rows()) < rows; ep = w.WaitChange(ep) {
+		}
+	}
+
+	// Give the toggled row one filled cell: downvotes require a non-empty
+	// vector. The row stays partial (no auto-upvote) and keeps score 0.
+	if err := sender.Fill(sender.Rows()[0].ID, "k", "key-0"); err != nil {
+		b.Fatal(err)
+	}
+	findFilled := func(w *Worker) (string, bool) {
+		for _, r := range w.Rows() {
+			if r.Cells[0] == "key-0" {
+				return r.ID, true
+			}
+		}
+		return "", false
+	}
+	rid, _ := findFilled(sender)
+	for _, w := range receivers {
+		for ep := w.Epoch(); ; ep = w.WaitChange(ep) {
+			if _, ok := findFilled(w); ok {
+				break
+			}
+		}
+	}
+	vec := model.VectorOf("key-0", "")
+	undo := func() error {
+		return sender.runner.Do(func(c *client.Client) ([]csync.Message, error) {
+			m, err := c.UndoVote(vec)
+			if err != nil {
+				return nil, err
+			}
+			return []csync.Message{m}, nil
+		})
+	}
+
+	// Per-receiver baseline: after op k applies, the receiver's replica epoch
+	// is base+k+1 (exactly one mutating broadcast per op, origin excluded).
+	base := make([]uint64, clients)
+	for j, w := range receivers {
+		base[j] = replicaEpoch(w)
+	}
+
+	sendAt := make([]time.Time, b.N)
+	lats := make([][]int64, clients)
+	ackc := make(chan struct{}, clients)
+	var wg gosync.WaitGroup
+	for j := range receivers {
+		lats[j] = make([]int64, b.N)
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			w := receivers[j]
+			for k := 0; k < b.N; k++ {
+				target := base[j] + uint64(k) + 1
+				for {
+					ep := w.Epoch()
+					if replicaEpoch(w) >= target {
+						break
+					}
+					w.WaitChange(ep)
+				}
+				// Safe to read sendAt[k]: observing the op's effect
+				// happens-after the send, which happens-after the stamp.
+				lats[j][k] = int64(time.Since(sendAt[k]))
+				ackc <- struct{}{}
+			}
+		}(j)
+	}
+
+	b.ResetTimer()
+	for k := 0; k < b.N; k++ {
+		sendAt[k] = time.Now()
+		var err error
+		if k%2 == 0 {
+			err = sender.Downvote(rid)
+		} else {
+			err = undo()
+		}
+		if err != nil {
+			b.Fatalf("op %d: %v", k, err)
+		}
+		// Pace: wait for every receiver to observe this op before the next,
+		// so the histogram measures unloaded fan-out latency rather than
+		// queueing depth, and slow receivers can't overflow the broadcast log.
+		for i := 0; i < clients; i++ {
+			<-ackc
+		}
+	}
+	b.StopTimer()
+	wg.Wait()
+
+	all := make([]int64, 0, clients*b.N)
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	slices.Sort(all)
+	pct := func(p float64) float64 {
+		i := int(p * float64(len(all)-1))
+		return float64(all[i])
+	}
+	b.ReportMetric(pct(0.50), "p50-ns")
+	b.ReportMetric(pct(0.95), "p95-ns")
+	b.ReportMetric(pct(0.99), "p99-ns")
+}

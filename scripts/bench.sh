@@ -1,23 +1,29 @@
 #!/bin/sh
 # Runs the hot-path and experiment benchmarks and writes the scaling
 # acceptance metrics: BENCH_fanout.json (end-to-end server fan-out),
-# BENCH_broadcast.json (per-message handle+publish cost on the broadcast log,
-# with allocations), and BENCH_planner.json (PRI repair cost per message,
-# full-rebuild spec vs delta-driven incremental, across probable-set and
-# template sizes).
+# BENCH_e2e.json (ingest→deliver latency percentiles and allocations over
+# real loopback WebSockets), BENCH_broadcast.json (per-message
+# handle+publish cost on the broadcast log, with allocations), and
+# BENCH_planner.json (PRI repair cost per message, full-rebuild spec vs
+# delta-driven incremental, across probable-set and template sizes).
 set -eu
 cd "$(dirname "$0")/.."
 
 OUT=BENCH_fanout.json
+EOUT=BENCH_e2e.json
 BOUT=BENCH_broadcast.json
 POUT=BENCH_planner.json
 RAW=$(mktemp)
+ERAW=$(mktemp)
 BRAW=$(mktemp)
 PRAW=$(mktemp)
-trap 'rm -f "$RAW" "$BRAW" "$PRAW"' EXIT
+trap 'rm -f "$RAW" "$ERAW" "$BRAW" "$PRAW"' EXIT
 
 echo "== server fan-out =="
 go test -run '^$' -bench 'BenchmarkAblationServerFanout' -benchmem -benchtime "${FANOUT_BENCHTIME:-10x}" . | tee "$RAW"
+
+echo "== end-to-end fan-out latency (loopback WebSockets) =="
+go test -run '^$' -bench 'BenchmarkFanoutLatency' -benchmem -benchtime "${E2E_BENCHTIME:-500x}" . | tee "$ERAW"
 
 echo "== broadcast handle+publish =="
 go test -run '^$' -bench 'BenchmarkBroadcastHandlePublish' -benchmem -benchtime "${BROADCAST_BENCHTIME:-10000x}" ./internal/server/ | tee "$BRAW"
@@ -54,6 +60,29 @@ END   { printf "\n]\n" }
 
 extract "$RAW" BenchmarkAblationServerFanout > "$OUT"
 echo "wrote $OUT"
+
+# The e2e latency benchmark reports the latency distribution as custom
+# p50/p95/p99 metrics alongside the standard ns/op and allocs/op columns;
+# pick every value by the unit following it.
+awk '
+$1 ~ "^BenchmarkFanoutLatency/" {
+    split($1, parts, "=")
+    sub(/-.*/, "", parts[2])
+    ns = allocs = p50 = p95 = p99 = "null"
+    for (i = 3; i < NF; i++) {
+        if ($(i+1) == "ns/op") ns = $i
+        if ($(i+1) == "allocs/op") allocs = $i
+        if ($(i+1) == "p50-ns") p50 = $i
+        if ($(i+1) == "p95-ns") p95 = $i
+        if ($(i+1) == "p99-ns") p99 = $i
+    }
+    if (n++) printf ",\n"
+    printf "  {\"clients\": %s, \"ns_per_op\": %s, \"allocs_per_op\": %s, \"p50_ns\": %s, \"p95_ns\": %s, \"p99_ns\": %s}", parts[2], ns, allocs, p50, p95, p99
+}
+BEGIN { printf "[\n" }
+END   { printf "\n]\n" }
+' "$ERAW" > "$EOUT"
+echo "wrote $EOUT"
 
 extract "$BRAW" BenchmarkBroadcastHandlePublish > "$BOUT"
 echo "wrote $BOUT"

@@ -1,0 +1,72 @@
+#!/bin/sh
+# Regression gate for the end-to-end hot path: compares a freshly generated
+# BENCH_e2e.json against the committed baseline (the BENCH_e2e.json at HEAD)
+# and fails if, at any client count, p99 latency or allocs/op regressed by
+# more than the tolerance (percent).
+#
+#   sh scripts/bench_gate.sh [new.json [baseline.json]]
+#
+# With no baseline argument the committed version is read via git show.
+# Tolerances (integer percent) come from the environment:
+#   P99_TOL   p99 latency tolerance, default 20
+#   ALLOC_TOL allocs/op tolerance, default 20
+# Latency is wall-clock and noisy on shared runners; allocation counts are
+# deterministic. CI relaxes P99_TOL and keeps ALLOC_TOL tight.
+set -eu
+cd "$(dirname "$0")/.."
+
+NEW=${1:-BENCH_e2e.json}
+BASE=${2:-}
+
+P99_TOL=${P99_TOL:-20}
+ALLOC_TOL=${ALLOC_TOL:-20}
+
+[ -f "$NEW" ] || { echo "bench_gate: $NEW not found (run scripts/bench.sh first)" >&2; exit 1; }
+
+BASETMP=
+if [ -z "$BASE" ]; then
+    BASETMP=$(mktemp)
+    trap 'rm -f "$BASETMP"' EXIT
+    if ! git show "HEAD:BENCH_e2e.json" > "$BASETMP" 2>/dev/null; then
+        echo "bench_gate: no committed BENCH_e2e.json baseline at HEAD; nothing to gate against"
+        exit 0
+    fi
+    BASE=$BASETMP
+fi
+
+# Each artifact row is one JSON object per line; pull the fields positionally
+# by key. Exit 1 if any client count regressed past tolerance.
+awk -v p99tol="$P99_TOL" -v alloctol="$ALLOC_TOL" '
+function field(line, key,    rest) {
+    rest = line
+    if (!match(rest, "\"" key "\": *[0-9.eE+-]+")) return ""
+    rest = substr(rest, RSTART, RLENGTH)
+    sub("\"" key "\": *", "", rest)
+    return rest
+}
+/"clients"/ {
+    c = field($0, "clients")
+    if (FNR == NR) {
+        basep99[c] = field($0, "p99_ns")
+        basealloc[c] = field($0, "allocs_per_op")
+        next
+    }
+    p99 = field($0, "p99_ns"); alloc = field($0, "allocs_per_op")
+    if (!(c in basep99)) { printf "bench_gate: clients=%s missing from baseline\n", c; next }
+    lim = basep99[c] * (1 + p99tol / 100.0)
+    if (p99 + 0 > lim) {
+        printf "bench_gate: FAIL clients=%s p99 %.0fns > baseline %.0fns +%d%%\n", c, p99, basep99[c], p99tol
+        bad = 1
+    } else {
+        printf "bench_gate: ok   clients=%s p99 %.0fns (baseline %.0fns, +%d%% limit %.0fns)\n", c, p99, basep99[c], p99tol, lim
+    }
+    lim = basealloc[c] * (1 + alloctol / 100.0)
+    if (alloc + 0 > lim) {
+        printf "bench_gate: FAIL clients=%s allocs/op %.0f > baseline %.0f +%d%%\n", c, alloc, basealloc[c], alloctol
+        bad = 1
+    } else {
+        printf "bench_gate: ok   clients=%s allocs/op %.0f (baseline %.0f, +%d%% limit %.0f)\n", c, alloc, basealloc[c], alloctol, lim
+    }
+}
+END { exit bad }
+' "$BASE" "$NEW"
