@@ -37,16 +37,17 @@ fuzz-smoke:
 verify: build vet lint test race fuzz-smoke
 
 # bench runs the hot-path benchmarks (server fan-out, e2e WebSocket latency,
-# broadcast publish, probable-row scan, PRI repair full-vs-incremental) and
-# the paper's E1-E6 experiment benchmarks, writing BENCH_fanout.json,
-# BENCH_e2e.json, BENCH_broadcast.json, and BENCH_planner.json — then diffs
-# the fresh e2e numbers against the committed baseline.
+# broadcast publish, probable-row scan, PRI repair full-vs-incremental,
+# connection-scale idle herd) and the paper's E1-E6 experiment benchmarks,
+# writing BENCH_fanout.json, BENCH_e2e.json, BENCH_broadcast.json,
+# BENCH_planner.json, and BENCH_conns.json — then diffs the fresh e2e and
+# connection-scale numbers against the committed baselines.
 bench:
 	sh scripts/bench.sh
 	sh scripts/bench_gate.sh
 
-# bench-gate re-checks an existing BENCH_e2e.json against the committed
-# baseline (>20% p99 or allocs/op regression fails; tolerances via
-# P99_TOL/ALLOC_TOL).
+# bench-gate re-checks existing BENCH_e2e.json and BENCH_conns.json against
+# the committed baselines (>20% regression fails; tolerances via
+# P99_TOL/ALLOC_TOL/CONNS_P99_TOL/CONNS_MEM_TOL).
 bench-gate:
 	sh scripts/bench_gate.sh

@@ -1,0 +1,346 @@
+package crowdfill
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"runtime"
+	"slices"
+	"strconv"
+	gosync "sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"crowdfill/internal/client"
+	"crowdfill/internal/model"
+	csync "crowdfill/internal/sync"
+	"crowdfill/internal/wsock"
+)
+
+// BenchmarkConnScale measures the server's connection-scale envelope: N
+// mostly-idle loopback WebSocket connections (the flaky, watching crowd)
+// plus a 1% active publisher mix toggling votes. Reported per sub-benchmark:
+//
+//	goroutines/conn  server-side goroutine cost per idle connection — with
+//	                 the flusher pool this is the reader loop only (~1),
+//	                 never a per-connection writer
+//	bytes/conn       server heap+stack bytes per idle connection
+//	p50-ns, p99-ns   publish→deliver latency at an active observer while
+//	                 every broadcast fans out to all N connections
+//
+// The sandbox caps RLIMIT_NOFILE at 20000, so one process cannot hold both
+// ends of 10k TCP pairs: the idle herd's client sides live in a child
+// process (the test binary re-executed, see TestMain), which also keeps the
+// herd's drain goroutines and socket buffers out of this process's
+// goroutine and memory deltas — the numbers are server-side cost only.
+func BenchmarkConnScale(b *testing.B) {
+	for _, n := range []int{1000, 5000, 10000} {
+		b.Run(fmt.Sprintf("conns=%d", n), func(b *testing.B) {
+			benchConnScale(b, n)
+		})
+	}
+}
+
+const (
+	herdEnv     = "CROWDFILL_CONN_HERD"
+	herdAddrEnv = "CROWDFILL_CONN_ADDR"
+	herdNEnv    = "CROWDFILL_CONN_N"
+)
+
+// TestMain re-executes into herd-child mode when the environment says so;
+// otherwise it runs the test binary normally.
+func TestMain(m *testing.M) {
+	if os.Getenv(herdEnv) != "" {
+		runConnHerd()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// raiseFDLimit lifts the soft open-file limit to the hard cap (helps CI
+// runners that default the soft limit to 1024) and returns the result.
+func raiseFDLimit() uint64 {
+	var rl syscall.Rlimit
+	if err := syscall.Getrlimit(syscall.RLIMIT_NOFILE, &rl); err != nil {
+		return 0
+	}
+	if rl.Cur < rl.Max {
+		rl.Cur = rl.Max
+		syscall.Setrlimit(syscall.RLIMIT_NOFILE, &rl)
+		syscall.Getrlimit(syscall.RLIMIT_NOFILE, &rl)
+	}
+	return rl.Cur
+}
+
+// runConnHerd is the child-process body: dial N idle connections to the
+// parent's server, drain whatever broadcasts arrive, report readiness on
+// stdout, and hold everything open until the parent closes our stdin.
+func runConnHerd() {
+	addr := os.Getenv(herdAddrEnv)
+	n, err := strconv.Atoi(os.Getenv(herdNEnv))
+	if err != nil || addr == "" {
+		fmt.Fprintln(os.Stderr, "herd: bad CROWDFILL_CONN_ADDR/CROWDFILL_CONN_N")
+		os.Exit(1)
+	}
+	raiseFDLimit()
+
+	var wg gosync.WaitGroup
+	sem := make(chan struct{}, 64) // dial parallelism
+	errc := make(chan error, 1)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			ws, derr := wsock.Dial(fmt.Sprintf("ws://%s/?worker=h%d", addr, i))
+			if derr != nil {
+				select {
+				case errc <- fmt.Errorf("dial %d: %w", i, derr):
+				default:
+				}
+				return
+			}
+			go func() {
+				for {
+					if _, rerr := ws.ReadTextLease(); rerr != nil {
+						return
+					}
+				}
+			}()
+		}(i)
+	}
+	wg.Wait()
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "herd:", err)
+		os.Exit(1)
+	default:
+	}
+	fmt.Println("ready")
+	io.Copy(io.Discard, os.Stdin) // parent closing stdin = shut down
+	os.Exit(0)
+}
+
+func benchConnScale(b *testing.B, n int) {
+	k := n / 100 // 1% active publisher mix
+	if k < 2 {
+		k = 2
+	}
+	if limit := raiseFDLimit(); limit < uint64(n+2*k+256) {
+		b.Skipf("open-file limit %d too low for %d connections", limit, n)
+	}
+
+	coll, err := NewCollection(Spec{
+		Name:        "T",
+		Columns:     []Column{{Name: "k"}, {Name: "v"}},
+		Key:         []string{"k"},
+		Cardinality: k,
+		Scoring:     Scoring{Kind: "majority", K: 3},
+		Budget:      1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := &http.Server{Handler: coll.Handler()}
+	go srv.Serve(ln)
+	defer func() {
+		srv.Close()
+		coll.Close()
+	}()
+
+	// The 1% active mix: k real workers over loopback WebSockets.
+	active := make([]*Worker, k)
+	for j := range active {
+		active[j] = dialWorker(b, coll, ln.Addr(), fmt.Sprintf("a%d", j))
+	}
+	for _, w := range active {
+		for ep := w.Epoch(); len(w.Rows()) < k; ep = w.WaitChange(ep) {
+		}
+	}
+
+	// Give each publisher its own partially-filled row to toggle: one filled
+	// cell permits downvotes, the row stays partial (no auto-upvote) with
+	// f(0,1)=0 under majority-3 scoring, so the Central Client stays quiet
+	// and each toggle broadcasts exactly one replica-mutating message.
+	rowIDs := make([]string, k)
+	for j, r := range active[0].Rows() {
+		rowIDs[j] = r.ID
+	}
+	for j, w := range active {
+		if err := w.Fill(rowIDs[j], "k", fmt.Sprintf("key-%d", j)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	filledAt := func(w *Worker) bool {
+		rows := w.Rows()
+		got := 0
+		for _, r := range rows {
+			if r.Cells[0] != "" {
+				got++
+			}
+		}
+		return got == k
+	}
+	for _, w := range active {
+		for ep := w.Epoch(); !filledAt(w); ep = w.WaitChange(ep) {
+		}
+	}
+	// A fill replaces the row under a new ID; re-resolve each publisher's
+	// row by its key cell.
+	for j := range rowIDs {
+		want := fmt.Sprintf("key-%d", j)
+		rowIDs[j] = ""
+		for _, r := range active[j].Rows() {
+			if r.Cells[0] == want {
+				rowIDs[j] = r.ID
+			}
+		}
+		if rowIDs[j] == "" {
+			b.Fatalf("publisher %d: filled row not found", j)
+		}
+	}
+
+	// Baseline before the herd joins: the deltas below are the server-side
+	// cost of the idle connections alone (the herd's own goroutines, socket
+	// buffers, and fds are in the child process).
+	runtime.GC()
+	var m0 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	g0 := runtime.NumGoroutine()
+
+	child := exec.Command(os.Args[0], "-test.run", "^$")
+	child.Env = append(os.Environ(),
+		herdEnv+"=1",
+		herdAddrEnv+"="+ln.Addr().String(),
+		herdNEnv+"="+strconv.Itoa(n),
+	)
+	stdin, err := child.StdinPipe()
+	if err != nil {
+		b.Fatal(err)
+	}
+	stdout, err := child.StdoutPipe()
+	if err != nil {
+		b.Fatal(err)
+	}
+	child.Stderr = os.Stderr
+	if err := child.Start(); err != nil {
+		b.Fatal(err)
+	}
+	defer func() {
+		stdin.Close() // herd shuts down on stdin EOF
+		child.Wait()
+	}()
+	readyc := make(chan error, 1)
+	go func() {
+		buf := make([]byte, 16)
+		_, rerr := stdout.Read(buf)
+		readyc <- rerr
+	}()
+	select {
+	case rerr := <-readyc:
+		if rerr != nil {
+			b.Fatalf("herd child failed: %v", rerr)
+		}
+	case <-time.After(3 * time.Minute):
+		b.Fatal("herd child never became ready")
+	}
+	deadline := time.Now().Add(time.Minute)
+	for {
+		st := coll.Status()
+		if st.Clients >= n+k {
+			break
+		}
+		if time.Now().After(deadline) {
+			b.Fatalf("only %d of %d connections registered", st.Clients, n+k)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	runtime.GC()
+	var m1 runtime.MemStats
+	runtime.ReadMemStats(&m1)
+	g1 := runtime.NumGoroutine()
+	goroutinesPerConn := float64(g1-g0) / float64(n)
+	heap := int64(m1.HeapAlloc) - int64(m0.HeapAlloc)
+	stack := int64(m1.StackInuse) - int64(m0.StackInuse)
+	bytesPerConn := float64(heap+stack) / float64(n)
+
+	// Sanity, not just telemetry: the pool invariant is no per-connection
+	// writer goroutine — at most the reader loop per conn plus O(pool) slack.
+	if goroutinesPerConn > 1.5 {
+		b.Fatalf("goroutines/conn = %.2f; per-connection writer goroutines are back", goroutinesPerConn)
+	}
+
+	// Publish ops: publishers rotate; the next publisher in the rotation is
+	// the latency observer. exp tracks every active worker's expected replica
+	// epoch (each op applies once locally at its origin and broadcasts once
+	// to everyone else).
+	exp := make([]uint64, k)
+	for j, w := range active {
+		exp[j] = w.runner.ReplicaEpoch()
+	}
+	vecs := make([]model.Vector, k)
+	for j := range vecs {
+		vecs[j] = model.VectorOf(fmt.Sprintf("key-%d", j), "")
+	}
+	undo := func(w *Worker, vec model.Vector) error {
+		return w.runner.Do(func(c *client.Client) ([]csync.Message, error) {
+			m, uerr := c.UndoVote(vec)
+			if uerr != nil {
+				return nil, uerr
+			}
+			return []csync.Message{m}, nil
+		})
+	}
+	down := make([]bool, k)
+	lats := make([]int64, b.N)
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i % k
+		start := time.Now()
+		var oerr error
+		if !down[j] {
+			oerr = active[j].Downvote(rowIDs[j])
+		} else {
+			oerr = undo(active[j], vecs[j])
+		}
+		if oerr != nil {
+			b.Fatalf("op %d: %v", i, oerr)
+		}
+		down[j] = !down[j]
+		for m := range exp {
+			exp[m]++
+		}
+		obs := active[(j+1)%k]
+		target := exp[(j+1)%k]
+		for {
+			ep := obs.Epoch()
+			if obs.runner.ReplicaEpoch() >= target {
+				break
+			}
+			obs.WaitChange(ep)
+		}
+		lats[i] = int64(time.Since(start))
+	}
+	b.StopTimer()
+
+	slices.Sort(lats)
+	pct := func(p float64) float64 {
+		i := int(p * float64(len(lats)-1))
+		return float64(lats[i])
+	}
+	b.ReportMetric(pct(0.50), "p50-ns")
+	b.ReportMetric(pct(0.99), "p99-ns")
+	b.ReportMetric(goroutinesPerConn, "goroutines/conn")
+	b.ReportMetric(bytesPerConn, "bytes/conn")
+}

@@ -9,6 +9,7 @@ type Conn struct{ rbuf []byte }
 func (c *Conn) ReadTextLease() ([]byte, error)          { return c.rbuf, nil }
 func (c *Conn) TryReadTextLease() ([]byte, bool, error) { return c.rbuf, false, nil }
 func (c *Conn) ReadText() ([]byte, error)               { return append([]byte(nil), c.rbuf...), nil }
+func (c *Conn) RecvBatch() int                          { return 0 }
 
 type holder struct{ buf []byte }
 
@@ -129,4 +130,60 @@ func badCrossIterationUse(c *Conn) {
 		use(prev) // want `after a later read invalidated the lease`
 		prev = data
 	}
+}
+
+// The coalesced-write path: flushers batch prepared frames and hand them to
+// SendPreparedBatch. Sends are writes — they do not advance the read cursor,
+// so they never invalidate a lease; what ends the lease is the next read,
+// and what escapes it is stashing it in batch scratch that outlives the
+// frame.
+
+func (c *Conn) SendPreparedBatch(frames ...[]byte) error { return nil }
+
+// batcher mirrors a flusher's per-connection state: scratch that persists
+// across flush rounds.
+type batcher struct{ pending [][]byte }
+
+// goodSendDoesNotInvalidate: a write between taking the lease and using it
+// is fine; only reads recycle the buffer.
+func goodSendDoesNotInvalidate(c *Conn) {
+	data, _ := c.ReadTextLease()
+	_ = c.SendPreparedBatch([]byte("frame"))
+	use(data)
+}
+
+// goodBatchCopyThenSend takes ownership by copying into the batch scratch
+// before the next read: append with a non-lease base copies the bytes.
+func goodBatchCopyThenSend(c *Conn, scratch []byte) {
+	data, _ := c.ReadTextLease()
+	scratch = append(scratch[:0], data...)
+	_ = c.SendPreparedBatch(scratch)
+}
+
+// badStashLeaseInBatchSlot parks the lease itself in caller-owned batch
+// scratch: the slot outlives the frame and the next read rewrites it.
+func badStashLeaseInBatchSlot(c *Conn, batch [][]byte) {
+	data, _ := c.ReadTextLease()
+	batch[0] = data // want `stored outside the function`
+}
+
+// badStashLeaseInPending stores the lease in the flusher's persistent
+// per-connection scratch.
+func badStashLeaseInPending(c *Conn, b *batcher) {
+	data, _ := c.ReadTextLease()
+	b.pending[0] = data // want `stored outside the function`
+}
+
+// badBatchLiteralOnChannel ships a batch containing the raw lease to another
+// goroutine.
+func badBatchLiteralOnChannel(c *Conn, ch chan [][]byte) {
+	data, _ := c.ReadTextLease()
+	ch <- [][]byte{data} // want `sent on a channel`
+}
+
+// badUseAfterRecvBatch: a batched read invalidates like any other read.
+func badUseAfterRecvBatch(c *Conn) {
+	data, _ := c.ReadTextLease()
+	c.RecvBatch()
+	use(data) // want `after a later read invalidated the lease`
 }

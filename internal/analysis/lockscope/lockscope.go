@@ -35,13 +35,18 @@ import (
 // serializing frame writers, marketplace ledgers) legitimately cover I/O and
 // are tracked only for ordering.
 var guardedOwners = map[string]bool{
-	"NetServer": true,
-	"bcastLog":  true,
-	"Core":      true,
-	"Replica":   true,
+	"NetServer":  true,
+	"bcastLog":   true,
+	"Core":       true,
+	"Replica":    true,
+	"flushQueue": true,
 }
 
 // allowedOrder lists the sanctioned nested-acquisition pairs: outer → inner.
+// flushQueue.mu appears in no pair on purpose: the flusher pool's work queue
+// must never nest with bcastLog.mu in either order (producers collect dirty
+// connections under the log lock, release it, then push), so any nesting is
+// an ordering violation.
 var allowedOrder = map[[2]string]bool{
 	{"NetServer", "bcastLog"}: true,
 }
@@ -82,10 +87,22 @@ var acquires = map[string]map[string]string{
 	"bcastLog": {
 		"publish": "bcastLog", "newCursor": "bcastLog", "close": "bcastLog",
 		"headSeq": "bcastLog",
+		// Flusher-pool entry points (register is the sanctioned
+		// NetServer.mu → bcastLog.mu nesting; the rest must be called
+		// lock-free).
+		"register": "bcastLog", "deregister": "bcastLog", "dropConn": "bcastLog",
+		"flushOne": "bcastLog", "poolStats": "bcastLog",
+		// enqueue touches only the flush queue; modeling it as a
+		// flushQueue acquisition flags enqueue-under-log-lock call sites.
+		"enqueue": "flushQueue",
 	},
 	"logCursor": {
 		"nextBatch": "bcastLog", "next": "bcastLog", "tryNext": "bcastLog",
 		"markLagged": "bcastLog", "stop": "bcastLog", "lag": "bcastLog",
+		"drainBatch": "bcastLog",
+	},
+	"flushQueue": {
+		"push": "flushQueue", "pop": "flushQueue", "close": "flushQueue",
 	},
 	"NetServer": {
 		"handleAndPublish": "NetServer", "Done": "NetServer", "WithCore": "NetServer",
@@ -95,9 +112,10 @@ var acquires = map[string]map[string]string{
 // blockingConnMethods are methods that perform (or wait on) I/O when called
 // on a connection-like receiver (a type named Conn).
 var blockingConnMethods = map[string]bool{
-	"Send": true, "SendPrepared": true, "Recv": true, "RecvBatch": true,
+	"Send": true, "SendPrepared": true, "SendPreparedBatch": true,
+	"Recv": true, "RecvBatch": true,
 	"Read": true, "Write": true, "ReadText": true, "WriteText": true,
-	"ReadTextLease": true,
+	"ReadTextLease": true, "WritePrepared": true, "WritePreparedBatch": true,
 }
 
 // New returns the lockscope analyzer.

@@ -13,9 +13,10 @@ import (
 // Conn mimics a transport connection.
 type Conn struct{}
 
-func (Conn) Send(v any) error   { return nil }
-func (Conn) Recv() (int, error) { return 0, nil }
-func (Conn) Close() error       { return nil }
+func (Conn) Send(v any) error                 { return nil }
+func (Conn) SendPreparedBatch(v ...any) error { return nil }
+func (Conn) Recv() (int, error)               { return 0, nil }
+func (Conn) Close() error                     { return nil }
 
 type bcastLog struct {
 	mu   sync.RWMutex
@@ -244,4 +245,95 @@ func (g *ledger) record() {
 	g.mu.Lock()
 	g.ch <- 1 // not a guarded owner: no finding
 	g.mu.Unlock()
+}
+
+// flushQueue mirrors the flusher pool's dirty-connection work queue. Its mu
+// is a guarded owner with no allowedOrder entry: it must never nest with
+// bcastLog.mu in either direction.
+type flushQueue struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	q    []*flushConn
+}
+
+type flushConn struct {
+	conn Conn
+}
+
+func (q *flushQueue) push(fc *flushConn) {
+	q.mu.Lock()
+	q.q = append(q.q, fc)
+	q.mu.Unlock()
+}
+
+func (q *flushQueue) pop() *flushConn {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.q) == 0 {
+		q.cond.Wait()
+	}
+	fc := q.q[0]
+	q.q = q.q[1:]
+	return fc
+}
+
+// pushUnderLogLock enqueues dirty connections while still inside the
+// broadcast log's critical section: the classic flusher-pool deadlock shape.
+func (l *bcastLog) pushUnderLogLock(fq *flushQueue, fc *flushConn) {
+	l.mu.Lock()
+	fq.push(fc) // want `lock ordering: acquiring flushQueue.mu while holding bcastLog.mu`
+	l.mu.Unlock()
+}
+
+// popUnderLogLock parks on the work queue's condition variable with the log
+// lock held.
+func (l *bcastLog) popUnderLogLock(fq *flushQueue) *flushConn {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return fq.pop() // want `lock ordering: acquiring flushQueue.mu while holding bcastLog.mu`
+}
+
+// publishUnderQueueLock is the reverse nesting: also forbidden.
+func (q *flushQueue) publishUnderQueueLock(l *bcastLog) {
+	q.mu.Lock()
+	l.publish() // want `lock ordering: acquiring bcastLog.mu while holding flushQueue.mu`
+	q.mu.Unlock()
+}
+
+// collectThenPush is the sanctioned pattern: gather dirty connections under
+// the log lock, release it, then push to the queue lock-free.
+func (l *bcastLog) collectThenPush(fq *flushQueue, parked []*flushConn) {
+	var wake []*flushConn
+	l.mu.Lock()
+	wake = append(wake, parked...)
+	l.mu.Unlock()
+	for _, fc := range wake {
+		fq.push(fc)
+	}
+}
+
+// batchSendUnderQueueLock performs coalesced transport I/O while holding the
+// work queue's mutex; flushers must claim the connection and release the
+// queue before writing.
+func (q *flushQueue) batchSendUnderQueueLock(fc *flushConn) {
+	q.mu.Lock()
+	_ = fc.conn.SendPreparedBatch(1, 2) // want `transport SendPreparedBatch`
+	q.mu.Unlock()
+}
+
+// batchSendUnderLogLock: the coalesced write is just as blocking under the
+// log lock.
+func (l *bcastLog) batchSendUnderLogLock(c Conn) {
+	l.mu.Lock()
+	_ = c.SendPreparedBatch(1) // want `transport SendPreparedBatch`
+	l.mu.Unlock()
+}
+
+// batchSendLockFree is the flusher's real shape: drain state under the log
+// lock, release, then write.
+func (l *bcastLog) batchSendLockFree(c Conn) {
+	l.mu.Lock()
+	l.head++
+	l.mu.Unlock()
+	_ = c.SendPreparedBatch(1)
 }

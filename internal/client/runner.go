@@ -112,6 +112,16 @@ func (r *Runner) WaitChange(epoch uint64) uint64 {
 	return r.epoch
 }
 
+// ReplicaEpoch returns the replica's mutation counter under the runner's
+// lock. Equivalent to reading Replica().Epoch() inside View, minus the
+// escaping closure: latency pollers call this once per wakeup per receiver,
+// so the closure-free path keeps poll cost flat in the receiver count.
+func (r *Runner) ReplicaEpoch() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.c.Replica().Epoch()
+}
+
 // Done reports whether the server declared completion.
 func (r *Runner) Done() bool {
 	r.mu.Lock()

@@ -2,9 +2,12 @@ package server
 
 import (
 	"errors"
+	"runtime"
 	gosync "sync"
+	"time"
 
 	"crowdfill/internal/sync"
+	"crowdfill/internal/transport"
 )
 
 // bcastLog is the server's sequenced broadcast plane: a bounded in-memory
@@ -32,7 +35,17 @@ import (
 //
 // Wakeups are delegated to a dedicated dispatcher goroutine: publish posts a
 // token on a 1-buffered channel and returns, and the dispatcher performs the
-// O(waiters) cond broadcast off the publisher's critical path.
+// O(waiters) work off the publisher's critical path.
+//
+// Delivery to network connections runs through a shared flusher pool instead
+// of per-connection writer goroutines (DESIGN.md §12): register attaches a
+// connection as a flushConn — a cursor plus the transport link — and a small
+// fixed set of flusher workers drain dirty connections from a work queue,
+// coalescing each drain into one SendPreparedBatch. A connection with
+// nothing pending is parked: it holds no goroutine and costs only its cursor
+// and flushConn structs; the dispatcher moves parked connections behind the
+// head back onto the queue after each publish. The blocking-cursor API
+// (nextBatch and friends) remains for tests and non-pooled followers.
 type bcastLog struct {
 	mu      gosync.RWMutex
 	cond    *gosync.Cond // waits on mu.RLocker()
@@ -44,6 +57,123 @@ type bcastLog struct {
 	nextEvictScan uint64        // head value that triggers the next lag scan
 	notify        chan struct{} // 1-buffered dispatcher doorbell
 	dispatchDone  chan struct{}
+
+	// Flusher-pool state. conns is every registered flushConn (for
+	// shutdown); parked holds the subset whose cursor was at the head after
+	// their last flush. Both guarded by mu; the per-connection flush state
+	// machine (flushConn.state) is too.
+	conns    map[*flushConn]struct{}
+	parked   []*flushConn
+	fq       *flushQueue
+	flushers gosync.WaitGroup
+	logf     func(format string, args ...any)
+}
+
+// Flusher-pool tuning. The budget bounds how many records one flush round
+// may drain, so a deeply-lagged connection cannot monopolize a flusher (it
+// re-enters the queue behind everyone else). The write deadline is the
+// stalled-socket backstop: cursor-lag eviction handles slow clients while
+// traffic flows, but if publishing stops with a write still stuck, the
+// deadline frees the flusher and drops the connection.
+const (
+	flushBudget        = 256
+	flushWriteDeadline = 5 * time.Second
+)
+
+// flusherCount sizes the shared pool: one flusher per CPU, with a floor of
+// two so a single stalled write can never serialize all delivery.
+func flusherCount() int {
+	if n := runtime.GOMAXPROCS(0); n > 2 {
+		return n
+	}
+	return 2
+}
+
+// flushConn states, guarded by bcastLog.mu. A connection is always in
+// exactly one: parked (idle, in the parked list), queued (in the flush
+// queue or being carried to it), in-flight (owned by one flusher), or gone
+// (deregistered/evicted). Single ownership is what preserves per-connection
+// record order across flush rounds.
+const (
+	fcQueued = iota
+	fcInFlight
+	fcParked
+	fcGone
+)
+
+// flushConn is one pooled connection's write-side state: the transport link,
+// the log cursor, and the private join messages delivered before any log
+// record. Only the owning flusher touches conn and pending while the state
+// is in-flight.
+type flushConn struct {
+	conn    transport.Conn
+	id      string // client id, for exclude filtering and log lines
+	cur     *logCursor
+	pending []*sync.Prepared // join snapshot; nil after the first flush
+	state   int
+}
+
+// flushQueue is the pool's dirty-connection work queue: a FIFO of flushConns
+// with something to send. Its mutex is never nested with bcastLog.mu (in
+// either order) — producers collect under the log lock, release it, then
+// push — which keeps both critical sections trivially non-blocking.
+type flushQueue struct {
+	mu     gosync.Mutex
+	cond   *gosync.Cond
+	q      []*flushConn
+	closed bool
+}
+
+func newFlushQueue() *flushQueue {
+	q := &flushQueue{}
+	q.cond = gosync.NewCond(&q.mu)
+	return q
+}
+
+// push appends connections to the queue and wakes idle flushers. Pushes
+// after close are dropped: shutdown tears every connection down anyway.
+func (q *flushQueue) push(fcs ...*flushConn) {
+	if len(fcs) == 0 {
+		return
+	}
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return
+	}
+	q.q = append(q.q, fcs...)
+	if len(fcs) == 1 {
+		q.cond.Signal()
+	} else {
+		q.cond.Broadcast()
+	}
+	q.mu.Unlock()
+}
+
+// pop blocks until a connection is available and returns it; ok is false
+// once the queue is closed (remaining entries are dropped — close also
+// closes every registered transport).
+func (q *flushQueue) pop() (fc *flushConn, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.q) == 0 {
+		if q.closed {
+			return nil, false
+		}
+		q.cond.Wait()
+	}
+	fc = q.q[0]
+	q.q[0] = nil
+	q.q = q.q[1:]
+	return fc, true
+}
+
+// close wakes every flusher with ok=false.
+func (q *flushQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
 }
 
 // bcastRecord is one published broadcast: the shared once-encoded message and
@@ -73,23 +203,62 @@ func newBcastLog(capacity int) *bcastLog {
 		cursors:      make(map[*logCursor]struct{}),
 		notify:       make(chan struct{}, 1),
 		dispatchDone: make(chan struct{}),
+		conns:        make(map[*flushConn]struct{}),
+		fq:           newFlushQueue(),
+		logf:         func(string, ...any) {},
 	}
 	l.cond = gosync.NewCond(l.mu.RLocker())
 	l.nextEvictScan = uint64(capacity)
+	for i := 0; i < flusherCount(); i++ {
+		l.flushers.Add(1)
+		go l.flusher()
+	}
 	go l.dispatch()
 	return l
 }
 
-// dispatch wakes cursor followers whenever records were published. Taking the
-// write lock before broadcasting closes the check-then-wait race: a follower
-// either observes the new head under its read lock or is already parked in
-// Wait when the broadcast fires.
+// setLogf installs the operational log sink (must be called before any
+// connection registers; NewNetServer does).
+func (l *bcastLog) setLogf(logf func(string, ...any)) {
+	if logf != nil {
+		l.logf = logf
+	}
+}
+
+// dispatch wakes consumers whenever records were published: a cond broadcast
+// for blocking cursor followers, and a parked→queued sweep for the flusher
+// pool. Taking the write lock first closes the check-then-wait race: a
+// follower either observes the new head under its read lock or is already
+// parked in Wait when the broadcast fires, and a flushConn either parks
+// before the sweep (and is swept) or re-checks the head before parking.
+// The sweep is O(parked), but every parked connection behind the head needs
+// exactly one wakeup per idle→dirty transition — the same work the cond
+// broadcast performed for the per-connection writer goroutines, minus their
+// stacks and scheduler load.
 func (l *bcastLog) dispatch() {
 	defer close(l.dispatchDone)
+	var wake []*flushConn
 	for range l.notify {
+		wake = wake[:0]
 		l.mu.Lock()
 		l.cond.Broadcast()
+		if len(l.parked) > 0 {
+			keep := l.parked[:0]
+			for _, fc := range l.parked {
+				if fc.cur.pos < l.head {
+					fc.state = fcQueued
+					wake = append(wake, fc)
+				} else {
+					keep = append(keep, fc)
+				}
+			}
+			for i := len(keep); i < len(l.parked); i++ {
+				l.parked[i] = nil
+			}
+			l.parked = keep
+		}
 		l.mu.Unlock()
+		l.fq.push(wake...)
 	}
 }
 
@@ -149,7 +318,12 @@ func (l *bcastLog) headSeq() uint64 {
 	return l.head
 }
 
-// close wakes every follower with errLogClosed and stops the dispatcher.
+// close tears the whole write plane down: blocking followers wake with
+// errLogClosed, the flush queue wakes every flusher to exit, every
+// registered connection's transport is closed (unblocking flushers stuck
+// mid-send and failing the connections' reader loops), and the call returns
+// only after the flushers and the dispatcher have exited — the
+// goroutine-leak guarantee NetServer.Shutdown relies on.
 func (l *bcastLog) close() {
 	l.mu.Lock()
 	if l.closed {
@@ -157,8 +331,17 @@ func (l *bcastLog) close() {
 		return
 	}
 	l.closed = true
+	conns := make([]*flushConn, 0, len(l.conns))
+	for fc := range l.conns {
+		conns = append(conns, fc)
+	}
 	l.cond.Broadcast()
 	l.mu.Unlock()
+	l.fq.close()
+	for _, fc := range conns {
+		fc.conn.Close()
+	}
+	l.flushers.Wait()
 	close(l.notify)
 	<-l.dispatchDone
 }
@@ -290,4 +473,204 @@ func (c *logCursor) lag() uint64 {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
 	return l.head - c.pos
+}
+
+// drainBatch copies up to len(out) records past the cursor and advances,
+// without blocking: at the head it returns 0, nil. The flusher pool's
+// non-blocking counterpart of nextBatch — a flusher never waits on a cursor,
+// it parks the connection instead.
+func (c *logCursor) drainBatch(out []bcastRecord) (int, error) {
+	l := c.log
+	l.mu.RLock()
+	if c.stopped {
+		lagged := c.lagged
+		l.mu.RUnlock()
+		if lagged {
+			return 0, errCursorLagged
+		}
+		return 0, errCursorStopped
+	}
+	n := uint64(len(l.buf))
+	if l.head-c.pos > n {
+		l.mu.RUnlock()
+		c.markLagged()
+		return 0, errCursorLagged
+	}
+	k := 0
+	for k < len(out) && c.pos < l.head {
+		out[k] = l.buf[c.pos%n]
+		c.pos++
+		k++
+	}
+	closed := l.closed
+	l.mu.RUnlock()
+	if k == 0 && closed {
+		return 0, errLogClosed
+	}
+	return k, nil
+}
+
+// register attaches a connection to the flusher pool: a cursor pinned at the
+// current head plus the private join messages to deliver before any log
+// record. Callers hold NetServer.mu so the join point is exact (the snapshot
+// in pending reflects every record before the cursor; the cursor sees every
+// record after it). The connection starts in the queued state — it has the
+// join messages to send — but is handed to the pool by a separate enqueue
+// call, made after NetServer.mu is released, so the flush queue's lock never
+// nests inside the server's. onEvict runs (on its own goroutine) if the
+// publishing side detects cursor lag.
+func (l *bcastLog) register(conn transport.Conn, clientID string, pending []*sync.Prepared, onEvict func()) *flushConn {
+	l.mu.Lock()
+	fc := &flushConn{conn: conn, id: clientID, pending: pending, state: fcQueued}
+	fc.cur = &logCursor{log: l, pos: l.head, onEvict: onEvict}
+	if l.closed {
+		fc.state = fcGone
+		fc.cur.stopped = true
+		l.mu.Unlock()
+		conn.Close()
+		return fc
+	}
+	l.cursors[fc.cur] = struct{}{}
+	l.conns[fc] = struct{}{}
+	l.mu.Unlock()
+	return fc
+}
+
+// enqueue hands a freshly-registered connection to the pool. Must be called
+// exactly once after register, outside any lock.
+func (l *bcastLog) enqueue(fc *flushConn) {
+	l.fq.push(fc)
+}
+
+// deregister detaches a connection (reader-side teardown). Safe to call
+// after an eviction already detached it; a queued or in-flight connection is
+// released by its flusher when it observes the gone state or the stopped
+// cursor.
+func (l *bcastLog) deregister(fc *flushConn) {
+	l.mu.Lock()
+	l.detachLocked(fc)
+	l.mu.Unlock()
+}
+
+// detachLocked moves a connection to the gone state and removes it from the
+// registry, the parked list, and the cursor table. Idempotent; callers hold
+// the write lock.
+func (l *bcastLog) detachLocked(fc *flushConn) {
+	if fc.state == fcGone {
+		return
+	}
+	if fc.state == fcParked {
+		for i, p := range l.parked {
+			if p == fc {
+				l.parked[i] = l.parked[len(l.parked)-1]
+				l.parked[len(l.parked)-1] = nil
+				l.parked = l.parked[:len(l.parked)-1]
+				break
+			}
+		}
+	}
+	fc.state = fcGone
+	delete(l.conns, fc)
+	if !fc.cur.stopped {
+		fc.cur.stopped = true
+		delete(l.cursors, fc.cur)
+	}
+}
+
+// dropConn is the flusher-side eviction: close the transport (failing the
+// connection's reader loop so both halves tear down) and detach. why is
+// logged outside any lock.
+func (l *bcastLog) dropConn(fc *flushConn, why string) {
+	fc.conn.Close()
+	l.mu.Lock()
+	l.detachLocked(fc)
+	l.mu.Unlock()
+	l.logf("crowdfill: client %s dropped by flusher: %s", fc.id, why)
+}
+
+// flusher is one pool worker: it pulls dirty connections off the queue and
+// flushes each one. Workers exit when the queue closes.
+func (l *bcastLog) flusher() {
+	defer l.flushers.Done()
+	recs := make([]bcastRecord, flushBudget)
+	var preps []*sync.Prepared
+	for {
+		fc, ok := l.fq.pop()
+		if !ok {
+			return
+		}
+		preps = l.flushOne(fc, recs, preps[:0])
+	}
+}
+
+// flushOne runs one flush round for a connection: claim it, drain up to
+// flushBudget records from its cursor, coalesce them (plus any pending join
+// messages) into a single batched send, then park it (cursor at head) or
+// requeue it (more records remain — behind every other dirty connection, so
+// one deep-lagged client cannot starve the rest). The returned slice is the
+// grown prepared-batch scratch for reuse. Any send error, deadline included,
+// drops the connection: the stream may be mid-frame, and the model only
+// requires per-link FIFO for links that stay up.
+func (l *bcastLog) flushOne(fc *flushConn, recs []bcastRecord, preps []*sync.Prepared) []*sync.Prepared {
+	l.mu.Lock()
+	if fc.state == fcGone || l.closed {
+		l.mu.Unlock()
+		return preps
+	}
+	fc.state = fcInFlight
+	pending := fc.pending
+	fc.pending = nil
+	l.mu.Unlock()
+
+	n, err := fc.cur.drainBatch(recs)
+	if err != nil {
+		if err == errCursorLagged {
+			l.dropConn(fc, "cursor lagged behind broadcast log")
+		} else {
+			// Stopped or closed: the reader-side teardown (or close) owns
+			// the cleanup; just release ownership.
+			l.deregister(fc)
+		}
+		return preps
+	}
+	batch := append(preps, pending...)
+	for _, rec := range recs[:n] {
+		if rec.exclude != "" && rec.exclude == fc.id {
+			continue
+		}
+		batch = append(batch, rec.prep)
+	}
+	if len(batch) > 0 {
+		fc.conn.SetWriteDeadline(time.Now().Add(flushWriteDeadline))
+		err := fc.conn.SendPreparedBatch(batch)
+		if err != nil {
+			l.dropConn(fc, "send failed: "+err.Error())
+			return batch[:0]
+		}
+	}
+
+	l.mu.Lock()
+	if fc.state != fcInFlight || l.closed || fc.cur.stopped {
+		// Deregistered, evicted, or shut down while we held it; whoever
+		// flipped the state owns the cleanup.
+		l.mu.Unlock()
+		return batch[:0]
+	}
+	if fc.cur.pos < l.head {
+		fc.state = fcQueued
+		l.mu.Unlock()
+		l.fq.push(fc)
+		return batch[:0]
+	}
+	fc.state = fcParked
+	l.parked = append(l.parked, fc)
+	l.mu.Unlock()
+	return batch[:0]
+}
+
+// poolStats reports the number of registered and parked connections (tests).
+func (l *bcastLog) poolStats() (conns, parked int) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.conns), len(l.parked)
 }

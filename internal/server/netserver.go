@@ -18,11 +18,13 @@ import (
 //
 // Delivery runs through a sequenced broadcast log instead of per-connection
 // queues: handling a message publishes a constant number of records
-// (HandleBroadcast's result) and returns, and each connection's writer
-// goroutine follows the log with its own cursor, encoding payloads off the
-// server lock. A client that cannot keep up is detected by cursor lag — the
-// log wrapping past it — and disconnected, which preserves everyone else's
-// per-link FIFO delivery without per-recipient work on the hot path.
+// (HandleBroadcast's result) and returns. Connections hold no writer
+// goroutine — the log's shared flusher pool drains each connection's cursor
+// and coalesces adjacent records into one batched write, and idle
+// connections park as bare cursor structs (DESIGN.md §12). A client that
+// cannot keep up is detected by cursor lag — the log wrapping past it — and
+// disconnected, which preserves everyone else's per-link FIFO delivery
+// without per-recipient work on the hot path.
 type NetServer struct {
 	mu     gosync.Mutex
 	core   *Core
@@ -37,7 +39,9 @@ func NewNetServer(core *Core, logf func(string, ...any)) *NetServer {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	return &NetServer{core: core, log: newBcastLog(defaultLogCapacity), logf: logf}
+	blog := newBcastLog(defaultLogCapacity)
+	blog.setLogf(logf)
+	return &NetServer{core: core, log: blog, logf: logf}
 }
 
 // Handler returns the HTTP handler performing WebSocket upgrades. The worker
@@ -66,63 +70,33 @@ func (s *NetServer) ServeConn(conn transport.Conn, worker string) {
 func (s *NetServer) serve(conn transport.Conn, worker string) {
 	clientID := fmt.Sprintf("net-%05d", atomic.AddInt64(&s.nextID, 1))
 
-	// Registering the client and opening the cursor under one lock pins the
-	// join point in the sequence: the snapshot reflects every record before
-	// the cursor, and the cursor sees every record after it — no gap, no
-	// duplicate.
+	// Registering the client and opening the pooled cursor under one lock
+	// pins the join point in the sequence: the private snapshot reflects
+	// every record before the cursor, and the cursor sees every record after
+	// it — no gap, no duplicate. The snapshot travels with the flushConn as
+	// its pending batch, delivered by the pool before any log record.
 	s.mu.Lock()
 	private := s.core.AddClient(clientID, worker)
-	cur := s.log.newCursor(func() {
+	pending := make([]*sync.Prepared, len(private))
+	for i, o := range private {
+		if o.Prepared != nil {
+			pending[i] = o.Prepared
+		} else {
+			pending[i] = sync.NewPrepared(o.Msg)
+		}
+	}
+	fc := s.log.register(conn, clientID, pending, func() {
 		// Eviction hook (publisher side, own goroutine): closing the
-		// transport unblocks a writer stuck mid-send and fails the reader's
+		// transport unblocks a flusher stuck mid-send and fails the reader's
 		// Recv, so both halves tear down even though the slow client never
 		// drains another byte.
 		s.logf("crowdfill: client %s lagged behind broadcast log, dropping connection", clientID)
 		conn.Close()
 	})
 	s.mu.Unlock()
-
-	// Writer goroutine: sends the private join messages, then follows the
-	// log. Payload encoding happens here — off the server lock — and the
-	// shared Prepared makes it once per broadcast across all writers.
-	var wg gosync.WaitGroup
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		// On any exit, close the transport: the reader loop below is blocked
-		// in Recv and must observe the failure (previously an overflow-
-		// dropped client's reader kept feeding a defunct connection).
-		defer conn.Close()
-		for _, o := range private {
-			p := o.Prepared
-			if p == nil {
-				p = sync.NewPrepared(o.Msg)
-			}
-			if err := conn.SendPrepared(p); err != nil {
-				s.logf("crowdfill: send to %s: %v", clientID, err)
-				return
-			}
-		}
-		batch := make([]bcastRecord, 64)
-		for {
-			n, err := cur.nextBatch(batch)
-			if err != nil {
-				if err == errCursorLagged {
-					s.logf("crowdfill: client %s cursor lagged, dropping connection", clientID)
-				}
-				return
-			}
-			for _, rec := range batch[:n] {
-				if rec.exclude == clientID {
-					continue
-				}
-				if err := conn.SendPrepared(rec.prep); err != nil {
-					s.logf("crowdfill: send to %s: %v", clientID, err)
-					return
-				}
-			}
-		}
-	}()
+	// Hand the connection to the pool outside both locks (the flush queue's
+	// mutex never nests with the server's or the log's).
+	s.log.enqueue(fc)
 
 	for {
 		m, err := conn.Recv()
@@ -137,8 +111,7 @@ func (s *NetServer) serve(conn transport.Conn, worker string) {
 	s.mu.Lock()
 	s.core.RemoveClient(clientID)
 	s.mu.Unlock()
-	cur.stop()
-	wg.Wait()
+	s.log.deregister(fc)
 	conn.Close()
 }
 
@@ -163,9 +136,10 @@ func (s *NetServer) handleAndPublish(clientID string, m sync.Message) error {
 	return nil
 }
 
-// Shutdown closes the broadcast plane: every connection's writer wakes with
-// errLogClosed and tears its transport down, and the log's dispatcher
-// goroutine exits. Further publishes are dropped.
+// Shutdown closes the broadcast plane: every registered connection's
+// transport is closed (failing its reader loop), the flusher pool and the
+// log's dispatcher exit, and the call returns only once they have. Further
+// publishes are dropped.
 func (s *NetServer) Shutdown() { s.log.close() }
 
 // Done reports whether the collection finished (thread-safe).

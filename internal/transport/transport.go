@@ -7,6 +7,7 @@ package transport
 import (
 	"errors"
 	gosync "sync"
+	"time"
 
 	"crowdfill/internal/sync"
 	"crowdfill/internal/wsock"
@@ -22,6 +23,17 @@ type Conn interface {
 	// allows, the shared frame) instead of re-encoding per connection. Same
 	// concurrency contract as Send.
 	SendPrepared(p *sync.Prepared) error
+	// SendPreparedBatch transmits several prepared messages as one coalesced
+	// write where the wire format allows (writev-style: N frames, one
+	// syscall), falling back to sequential sends otherwise. Delivery order
+	// and wire bytes are exactly those of N SendPrepared calls. Same
+	// concurrency contract as Send.
+	SendPreparedBatch(ps []*sync.Prepared) error
+	// SetWriteDeadline bounds how long subsequent sends may block; the zero
+	// time clears the bound. A send that hits the deadline returns an error
+	// and may leave the link mid-message, so callers must drop the
+	// connection afterwards (the flusher pool's stalled-socket backstop).
+	SetWriteDeadline(t time.Time) error
 	// Recv blocks until the next message arrives or the link closes.
 	Recv() (sync.Message, error)
 	// RecvBatch blocks until at least one message arrives, then fills dst
@@ -38,6 +50,9 @@ type Conn interface {
 // ErrPipeClosed is returned on operations over a closed pipe.
 var ErrPipeClosed = errors.New("transport: pipe closed")
 
+// ErrWriteTimeout is returned by a pipe send that hit its write deadline.
+var ErrWriteTimeout = errors.New("transport: write deadline exceeded")
+
 // pipeShared is the closure state both ends of a pipe share: closing either
 // end closes the link exactly once.
 type pipeShared struct {
@@ -52,6 +67,9 @@ type pipeEnd struct {
 	in     chan sync.Message
 	out    chan sync.Message
 	shared *pipeShared
+	// wdeadline bounds Send; owned by the sending goroutine (the Send
+	// concurrency contract covers SetWriteDeadline too).
+	wdeadline time.Time
 }
 
 // Pipe returns the two endpoints of an in-process reliable in-order link
@@ -73,6 +91,21 @@ func (p *pipeEnd) Send(m sync.Message) error {
 		return ErrPipeClosed
 	default:
 	}
+	if !p.wdeadline.IsZero() {
+		if !time.Now().Before(p.wdeadline) {
+			return ErrWriteTimeout
+		}
+		t := time.NewTimer(time.Until(p.wdeadline))
+		defer t.Stop()
+		select {
+		case <-p.shared.done:
+			return ErrPipeClosed
+		case p.out <- m:
+			return nil
+		case <-t.C:
+			return ErrWriteTimeout
+		}
+	}
 	select {
 	case <-p.shared.done:
 		return ErrPipeClosed
@@ -84,6 +117,23 @@ func (p *pipeEnd) Send(m sync.Message) error {
 // SendPrepared delivers the message value directly: in-process pipes never
 // serialize, so a shared encoding has nothing to save.
 func (p *pipeEnd) SendPrepared(prep *sync.Prepared) error { return p.Send(prep.Message()) }
+
+// SendPreparedBatch delivers the message values in order; a pipe has no
+// frame layer, so there is nothing to coalesce beyond the sequential sends.
+func (p *pipeEnd) SendPreparedBatch(ps []*sync.Prepared) error {
+	for _, prep := range ps {
+		if err := p.Send(prep.Message()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SetWriteDeadline bounds Send; same concurrency contract as Send.
+func (p *pipeEnd) SetWriteDeadline(t time.Time) error {
+	p.wdeadline = t
+	return nil
+}
 
 func (p *pipeEnd) Recv() (sync.Message, error) {
 	select {
@@ -135,6 +185,9 @@ func (p *pipeEnd) Close() error {
 type wsConn struct {
 	ws   *wsock.Conn
 	ebuf []byte // reusable encode buffer; safe because Send calls never overlap
+	// fbuf collects the cached frames of one SendPreparedBatch call; reused
+	// across batches under the same no-overlap contract as ebuf.
+	fbuf []*wsock.PreparedFrame
 	// pendingErr defers a read error hit mid-batch so RecvBatch can deliver
 	// the messages decoded before it; the next receive call returns it.
 	pendingErr error
@@ -163,6 +216,31 @@ func (w *wsConn) SendPrepared(p *sync.Prepared) error {
 	}
 	return w.ws.WritePrepared(frame.(*wsock.PreparedFrame))
 }
+
+// SendPreparedBatch coalesces the batch's cached RFC 6455 frames into one
+// WebSocket-layer write: K adjacent broadcast records reaching one
+// connection cost one syscall instead of K. Frame building is shared across
+// recipients exactly as in SendPrepared.
+func (w *wsConn) SendPreparedBatch(ps []*sync.Prepared) error {
+	if len(ps) == 0 {
+		return nil
+	}
+	frames := w.fbuf[:0]
+	for _, p := range ps {
+		frame, err := p.Frame(func(payload []byte) (any, error) {
+			return wsock.NewPreparedText(payload), nil
+		})
+		if err != nil {
+			return err
+		}
+		frames = append(frames, frame.(*wsock.PreparedFrame))
+	}
+	w.fbuf = frames[:0] // retain grown capacity, drop the frame refs' length
+	return w.ws.WritePreparedBatch(frames)
+}
+
+// SetWriteDeadline bounds how long writes on the underlying socket may block.
+func (w *wsConn) SetWriteDeadline(t time.Time) error { return w.ws.SetWriteDeadline(t) }
 
 func (w *wsConn) Recv() (sync.Message, error) {
 	var m sync.Message

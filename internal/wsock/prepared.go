@@ -54,3 +54,39 @@ func (c *Conn) WritePrepared(f *PreparedFrame) error {
 	_, err := c.nc.Write(f.frame)
 	return err
 }
+
+// WritePreparedBatch sends several prepared text messages in one Write: the
+// frames are assembled back to back into the connection's pooled write buffer
+// and emitted with a single syscall, so a burst of K adjacent broadcasts
+// costs one write instead of K (writev-style coalescing — the frames are
+// already contiguous server frames, so concatenation is the vector write).
+// The wire bytes are exactly what K individual WritePrepared calls would
+// have produced; client connections mask each frame with a fresh key while
+// copying into the shared buffer, still one Write. Same serialization as
+// every other writer (wmu).
+func (c *Conn) WritePreparedBatch(frames []*PreparedFrame) error {
+	if len(frames) == 0 {
+		return nil
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	buf := c.wbuf[:0]
+	if c.client {
+		var err error
+		for _, f := range frames {
+			if buf, err = c.appendFrame(buf, opText, f.payload); err != nil {
+				return err
+			}
+		}
+	} else {
+		for _, f := range frames {
+			buf = append(buf, f.frame...)
+		}
+	}
+	c.wbuf = buf // retain grown capacity for the next batch
+	_, err := c.nc.Write(buf)
+	return err
+}

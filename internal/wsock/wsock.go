@@ -20,6 +20,7 @@ import (
 	"net/url"
 	"strings"
 	gosync "sync"
+	"time"
 )
 
 // guid is the fixed RFC 6455 handshake GUID.
@@ -212,7 +213,19 @@ func (c *Conn) writeFrame(opcode byte, p []byte) error {
 	if c.closed && opcode != opClose {
 		return ErrClosed
 	}
-	buf := c.wbuf[:0]
+	buf, err := c.appendFrame(c.wbuf[:0], opcode, p)
+	if err != nil {
+		return err
+	}
+	c.wbuf = buf // retain grown capacity for the next frame
+	_, err = c.nc.Write(buf)
+	return err
+}
+
+// appendFrame appends one assembled FIN frame (header, mask key for client
+// connections, payload) to buf and returns it. Callers hold wmu; the batch
+// write path appends several frames into one buffer before a single Write.
+func (c *Conn) appendFrame(buf []byte, opcode byte, p []byte) ([]byte, error) {
 	var hdr [14]byte
 	hdr[0] = 0x80 | opcode // FIN set
 	n := 2
@@ -232,13 +245,14 @@ func (c *Conn) writeFrame(opcode byte, p []byte) error {
 		hdr[1] |= 0x80
 		mask, err := c.nextMask()
 		if err != nil {
-			return err
+			return nil, err
 		}
 		copy(hdr[n:n+4], mask[:])
 		n += 4
+		start := len(buf)
 		buf = append(buf, hdr[:n]...)
 		buf = append(buf, p...)
-		body := buf[n:]
+		body := buf[start+n:]
 		for i := range body {
 			body[i] ^= mask[i%4]
 		}
@@ -246,9 +260,7 @@ func (c *Conn) writeFrame(opcode byte, p []byte) error {
 		buf = append(buf, hdr[:n]...)
 		buf = append(buf, p...)
 	}
-	c.wbuf = buf // retain grown capacity for the next frame
-	_, err := c.nc.Write(buf)
-	return err
+	return buf, nil
 }
 
 // nextMask returns a fresh 4-byte frame mask from the buffered crypto/rand
@@ -517,6 +529,13 @@ func growLen(b []byte, n int) []byte {
 
 // Ping sends a ping frame (liveness probes).
 func (c *Conn) Ping(data []byte) error { return c.writeFrame(opPing, data) }
+
+// SetWriteDeadline bounds how long subsequent writes may block. The flusher
+// pool uses it as a backstop so one stalled socket cannot wedge a shared
+// flusher indefinitely; a write that hits the deadline leaves the stream
+// mid-frame, so callers must treat the error as fatal and drop the
+// connection. The zero time clears the deadline.
+func (c *Conn) SetWriteDeadline(t time.Time) error { return c.nc.SetWriteDeadline(t) }
 
 // Close performs the closing handshake from this side and closes the
 // underlying connection.

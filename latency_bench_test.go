@@ -39,12 +39,19 @@ func BenchmarkFanoutLatency(b *testing.B) {
 }
 
 // replicaEpoch reads a worker's replica mutation counter (bumped once per
-// applied mutating message; snapshot loads count once).
-func replicaEpoch(w *Worker) uint64 {
-	var e uint64
-	w.runner.View(func(c *client.Client) { e = c.Replica().Epoch() })
-	return e
-}
+// applied mutating message; snapshot loads count once) via the closure-free
+// Runner.ReplicaEpoch, so polling itself is allocation-free.
+//
+// Per-client allocs/op growth in this benchmark (66→248 from 2→32 clients,
+// ~6 allocs per extra receiver per op) is attributed and inherent, not a
+// harness or server leak: each receiver decodes its own copy of every
+// broadcast — for a vote toggle that is 4 allocations (the Vec slice plus
+// the three retained strings: cell value, Origin, Worker; measured against
+// DecodeMessageInto directly) — and applies it to its replica (~2
+// allocations of vote bookkeeping). The wire path contributes nothing per
+// receiver (shared prepared frames, pooled buffers, lease reads), so this
+// growth is the cost of N independent replicas, linear by design.
+func replicaEpoch(w *Worker) uint64 { return w.runner.ReplicaEpoch() }
 
 // dialWorker joins a worker to the collection over a real WebSocket.
 func dialWorker(b *testing.B, coll *Collection, addr net.Addr, id string) *Worker {
@@ -125,6 +132,37 @@ func benchFanoutLatency(b *testing.B, clients int) {
 			}
 			return []csync.Message{m}, nil
 		})
+	}
+
+	// Unmeasured warmup toggles: the first few hundred ops of a fresh process
+	// run against a cold scheduler, unpaced GC, and ungrown buffers, which
+	// inflates the tail by 2x or more run to run. The gate tracks steady-state
+	// fan-out latency, so spend a fixed burst warming the path before the
+	// timed loop (an even count, leaving the row back at zero votes).
+	const warmOps = 64
+	warm := make([]uint64, clients)
+	for j, w := range receivers {
+		warm[j] = replicaEpoch(w)
+	}
+	for k := 0; k < warmOps; k++ {
+		var err error
+		if k%2 == 0 {
+			err = sender.Downvote(rid)
+		} else {
+			err = undo()
+		}
+		if err != nil {
+			b.Fatalf("warmup op %d: %v", k, err)
+		}
+	}
+	for j, w := range receivers {
+		for {
+			ep := w.Epoch()
+			if replicaEpoch(w) >= warm[j]+warmOps {
+				break
+			}
+			w.WaitChange(ep)
+		}
 	}
 
 	// Per-receiver baseline: after op k applies, the receiver's replica epoch

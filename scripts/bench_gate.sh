@@ -2,16 +2,21 @@
 # Regression gate for the end-to-end hot path: compares a freshly generated
 # BENCH_e2e.json against the committed baseline (the BENCH_e2e.json at HEAD)
 # and fails if, at any client count, p99 latency or allocs/op regressed by
-# more than the tolerance (percent).
+# more than the tolerance (percent). Then gates BENCH_conns.json the same
+# way: at every connection count, publish p99, bytes/conn, and
+# goroutines/conn must stay within tolerance of the committed baseline.
 #
 #   sh scripts/bench_gate.sh [new.json [baseline.json]]
 #
 # With no baseline argument the committed version is read via git show.
 # Tolerances (integer percent) come from the environment:
-#   P99_TOL   p99 latency tolerance, default 20
-#   ALLOC_TOL allocs/op tolerance, default 20
-# Latency is wall-clock and noisy on shared runners; allocation counts are
-# deterministic. CI relaxes P99_TOL and keeps ALLOC_TOL tight.
+#   P99_TOL        e2e p99 latency tolerance, default 20
+#   ALLOC_TOL      e2e allocs/op tolerance, default 20
+#   CONNS_P99_TOL  conn-scale publish p99 tolerance, default P99_TOL
+#   CONNS_MEM_TOL  bytes/conn and goroutines/conn tolerance, default 20
+# Latency is wall-clock and noisy on shared runners; allocation counts and
+# per-connection footprint are deterministic. CI relaxes the latency
+# tolerances and keeps the deterministic ones tight.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -20,6 +25,8 @@ BASE=${2:-}
 
 P99_TOL=${P99_TOL:-20}
 ALLOC_TOL=${ALLOC_TOL:-20}
+CONNS_P99_TOL=${CONNS_P99_TOL:-$P99_TOL}
+CONNS_MEM_TOL=${CONNS_MEM_TOL:-20}
 
 [ -f "$NEW" ] || { echo "bench_gate: $NEW not found (run scripts/bench.sh first)" >&2; exit 1; }
 
@@ -70,3 +77,53 @@ function field(line, key,    rest) {
 }
 END { exit bad }
 ' "$BASE" "$NEW"
+
+# Connection-scale gate. Only meaningful when this run produced rows (the
+# benchmark skips below the needed fd limit) and a baseline is committed;
+# an explicit positional NEW/BASE pair gates the e2e file only.
+[ -n "${2:-}" ] && exit 0
+CNEW=BENCH_conns.json
+[ -f "$CNEW" ] && grep -q '"conns"' "$CNEW" || {
+    echo "bench_gate: no fresh $CNEW rows; skipping connection-scale gate"
+    exit 0
+}
+CBASETMP=$(mktemp)
+trap 'rm -f "$CBASETMP" ${BASETMP:-}' EXIT
+if ! git show "HEAD:$CNEW" > "$CBASETMP" 2>/dev/null || ! grep -q '"conns"' "$CBASETMP"; then
+    echo "bench_gate: no committed $CNEW baseline at HEAD; nothing to gate against"
+    exit 0
+fi
+
+awk -v p99tol="$CONNS_P99_TOL" -v memtol="$CONNS_MEM_TOL" '
+function field(line, key,    rest) {
+    rest = line
+    if (!match(rest, "\"" key "\": *[0-9.eE+-]+")) return ""
+    rest = substr(rest, RSTART, RLENGTH)
+    sub("\"" key "\": *", "", rest)
+    return rest
+}
+function gate(name, c, got, base, tol,    lim) {
+    if (base == "" || got == "") return
+    lim = base * (1 + tol / 100.0)
+    if (got + 0 > lim) {
+        printf "bench_gate: FAIL conns=%s %s %.2f > baseline %.2f +%d%%\n", c, name, got, base, tol
+        bad = 1
+    } else {
+        printf "bench_gate: ok   conns=%s %s %.2f (baseline %.2f, +%d%% limit %.2f)\n", c, name, got, base, tol, lim
+    }
+}
+/"conns"/ {
+    c = field($0, "conns")
+    if (FNR == NR) {
+        basep99[c] = field($0, "p99_ns")
+        basebytes[c] = field($0, "bytes_per_conn")
+        basegoro[c] = field($0, "goroutines_per_conn")
+        next
+    }
+    if (!(c in basep99)) { printf "bench_gate: conns=%s missing from baseline\n", c; next }
+    gate("p99", c, field($0, "p99_ns"), basep99[c], p99tol)
+    gate("bytes/conn", c, field($0, "bytes_per_conn"), basebytes[c], memtol)
+    gate("goroutines/conn", c, field($0, "goroutines_per_conn"), basegoro[c], memtol)
+}
+END { exit bad }
+' "$CBASETMP" "$CNEW"
