@@ -19,10 +19,11 @@ race:
 	$(GO) test -race ./...
 
 # lint runs the crowdfill-lint invariant suite (internal/analysis) over the
-# whole module: publishedmut, lockscope, msgfield everywhere; simdet on the
-# simulation packages.
+# whole module, with in-package _test.go files included: publishedmut,
+# lockscope, lockorder, hotalloc, msgfield everywhere; simdet on the
+# simulation packages. -time prints load/analyze timing to stderr.
 lint:
-	$(GO) run ./cmd/crowdfill-lint
+	$(GO) run ./cmd/crowdfill-lint -tests -time
 
 # fuzz-smoke gives each native fuzz target a short budget on top of its
 # committed testdata/fuzz corpus (which plain `go test` already replays).

@@ -119,12 +119,16 @@ func (c *Collection) ComputePay() (map[string]float64, error) {
 // Close shuts down every in-process worker connection and the server's
 // broadcast plane (its log dispatcher and any remaining connection writers).
 func (c *Collection) Close() {
+	// Detach the worker list under the lock, then tear down outside it:
+	// runner.Close and Shutdown both block on connection writers, and
+	// Shutdown takes the broadcast plane's locks.
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	for _, w := range c.workers {
+	workers := c.workers
+	c.workers = nil
+	c.mu.Unlock()
+	for _, w := range workers {
 		w.runner.Close()
 	}
-	c.workers = nil
 	c.ns.Shutdown()
 }
 

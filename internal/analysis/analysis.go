@@ -44,6 +44,69 @@ type Pass struct {
 	TypesInfo *types.Info
 	// Report records one finding.
 	Report func(Diagnostic)
+	// Shared carries whole-run state (every loaded package, their
+	// //lint:allow directives, memoized cross-package artifacts like the
+	// call graph). Never nil inside Run.
+	Shared *Shared
+}
+
+// Shared is the whole-run state handed to every analyzer pass: the full set
+// of packages loaded for this lint/test invocation, their directives, and a
+// memo space for expensive cross-package artifacts (the call graph is built
+// once here and reused by lockscope, lockorder and hotalloc). The driver
+// builds one Shared after loading everything and before running anything, so
+// module-wide analyses see the whole program.
+type Shared struct {
+	Packages []*Package
+	allows   map[string][]*Allow // package path -> directives
+	memo     map[string]any
+}
+
+// NewShared collects the //lint:allow directives of every package and
+// returns the run-wide state. The same Allow instances are returned by
+// AllowsFor and consumed by Filter, so Used marks set anywhere are visible
+// everywhere.
+func NewShared(pkgs []*Package) *Shared {
+	s := &Shared{
+		Packages: pkgs,
+		allows:   make(map[string][]*Allow, len(pkgs)),
+		memo:     make(map[string]any),
+	}
+	for _, p := range pkgs {
+		s.allows[p.Path] = CollectAllows(p.Fset, p.Files)
+	}
+	return s
+}
+
+// AllowsFor returns the directives collected from one loaded package.
+func (s *Shared) AllowsFor(path string) []*Allow { return s.allows[path] }
+
+// Memo builds an artifact once per run and caches it under key.
+func (s *Shared) Memo(key string, build func() any) any {
+	if v, ok := s.memo[key]; ok {
+		return v
+	}
+	v := build()
+	s.memo[key] = v
+	return v
+}
+
+// UseAllow reports whether a //lint:allow directive for the named analyzer
+// covers file:line, marking every matching directive used. Analyzers whose
+// suppression semantics act before diagnostics exist (hotalloc's pruned call
+// edges) consume directives through this instead of through Filter, so the
+// stale-directive check still accounts for them.
+func (s *Shared) UseAllow(analyzer, file string, line int) bool {
+	used := false
+	for _, list := range s.allows {
+		for _, a := range list {
+			if a.Analyzer == analyzer && a.File == file && a.Line == line {
+				a.Used = true
+				used = true
+			}
+		}
+	}
+	return used
 }
 
 // Reportf formats and reports a finding at pos.
@@ -59,7 +122,12 @@ type Diagnostic struct {
 
 // RunAnalyzer executes one analyzer over a loaded package and returns its
 // raw diagnostics (before //lint:allow filtering), sorted by position.
-func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+// shared may be nil, in which case a single-package Shared is synthesized —
+// interprocedural analyzers then see only this package.
+func RunAnalyzer(a *Analyzer, pkg *Package, shared *Shared) ([]Diagnostic, error) {
+	if shared == nil {
+		shared = NewShared([]*Package{pkg})
+	}
 	var diags []Diagnostic
 	pass := &Pass{
 		Analyzer:  a,
@@ -68,6 +136,7 @@ func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
 		Pkg:       pkg.Types,
 		TypesInfo: pkg.TypesInfo,
 		Report:    func(d Diagnostic) { diags = append(diags, d) },
+		Shared:    shared,
 	}
 	if err := a.Run(pass); err != nil {
 		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)

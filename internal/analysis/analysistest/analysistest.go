@@ -46,14 +46,18 @@ func runOne(t *testing.T, dir, name string, a *analysis.Analyzer) {
 	if err != nil {
 		t.Fatalf("%s: %v", name, err)
 	}
-	raw, err := analysis.RunAnalyzer(a, pkg)
+	// One Shared per testdata package: interprocedural analyzers see just
+	// this package, and directives consumed via Shared.UseAllow (hotalloc's
+	// pruned call edges) stay visible to Filter's stale-directive check.
+	shared := analysis.NewShared([]*analysis.Package{pkg})
+	raw, err := analysis.RunAnalyzer(a, pkg, shared)
 	if err != nil {
 		t.Fatalf("%s: %v", name, err)
 	}
 	if a.Finish != nil {
 		a.Finish(func(d analysis.Diagnostic) { raw = append(raw, d) })
 	}
-	allows := analysis.CollectAllows(pkg.Fset, pkg.Files)
+	allows := shared.AllowsFor(pkg.Path)
 	kept, extras := analysis.Filter(pkg.Fset, allows, a.Name, raw)
 	diags := append(kept, extras...)
 

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"go/ast"
 	"go/build"
-	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
@@ -49,16 +48,17 @@ func NewLoader(dir string) (*Loader, error) {
 	if err != nil {
 		return nil, err
 	}
-	// The source importer type-checks dependencies from GOROOT source; with
-	// cgo enabled it would shell out to the cgo tool for packages like net.
-	// Pure-Go variants exist for everything this module uses, so force them.
+	// The fallback source importer type-checks dependencies from GOROOT
+	// source; with cgo enabled it would shell out to the cgo tool for
+	// packages like net. Pure-Go variants exist for everything this module
+	// uses, so force them.
 	build.Default.CgoEnabled = false
 	fset := token.NewFileSet()
 	return &Loader{
 		Fset:    fset,
 		modPath: path,
 		modRoot: root,
-		std:     importer.ForCompiler(fset, "source", nil),
+		std:     newStdImporter(fset, root),
 		cache:   make(map[string]*Package),
 		loading: make(map[string]bool),
 	}, nil
@@ -113,41 +113,68 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 func (l *Loader) LoadImportPath(path string) (*Package, error) {
 	rel := strings.TrimPrefix(strings.TrimPrefix(path, l.modPath), "/")
 	dir := filepath.Join(l.modRoot, filepath.FromSlash(rel))
-	return l.load(dir, path)
+	return l.load(dir, path, false)
+}
+
+// LoadImportPathTests loads a module-internal package with its in-package
+// _test.go files type-checked alongside the regular sources, so test-only
+// code (bench harnesses, concurrency tests) is analyzed too. External test
+// packages (package foo_test) are out of scope: they form a separate
+// package, and this module keeps its tests in-package. When the directory
+// has no in-package test files the plain variant is returned, so callers can
+// use this unconditionally. Dependents importing the package still see the
+// plain variant — the test-augmented type-check is a leaf, never imported.
+func (l *Loader) LoadImportPathTests(path string) (*Package, error) {
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, l.modPath), "/")
+	dir := filepath.Join(l.modRoot, filepath.FromSlash(rel))
+	return l.load(dir, path, true)
 }
 
 // LoadDir loads the package in dir (which may live outside the module's
 // import graph, e.g. an analysistest testdata package). importPath is the
 // synthetic path to give it.
 func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
-	return l.load(dir, importPath)
+	return l.load(dir, importPath, false)
 }
 
-func (l *Loader) load(dir, path string) (*Package, error) {
-	if p, ok := l.cache[path]; ok {
+func (l *Loader) load(dir, path string, withTests bool) (*Package, error) {
+	// Plain and test-augmented loads of the same path are distinct cache
+	// entries: the augmented variant re-type-checks every file, and its
+	// objects must not leak into dependents, which always import plain.
+	key := path
+	if withTests {
+		key += "\x00tests"
+	}
+	if p, ok := l.cache[key]; ok {
 		return p, nil
 	}
-	if l.loading[path] {
+	if l.loading[key] {
 		return nil, fmt.Errorf("analysis: import cycle through %s", path)
 	}
-	l.loading[path] = true
-	defer delete(l.loading, path)
+	l.loading[key] = true
+	defer delete(l.loading, key)
 
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("analysis: %w", err)
 	}
-	var files []*ast.File
-	var names []string
+	var names, testNames []string
 	for _, e := range entries {
 		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
-			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		if strings.HasSuffix(name, "_test.go") {
+			if withTests {
+				testNames = append(testNames, name)
+			}
 			continue
 		}
 		names = append(names, name)
 	}
 	sort.Strings(names)
+	sort.Strings(testNames)
+	var files []*ast.File
 	for _, name := range names {
 		f, perr := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
 		if perr != nil {
@@ -157,6 +184,26 @@ func (l *Loader) load(dir, path string) (*Package, error) {
 	}
 	if len(files) == 0 {
 		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	pkgName := files[0].Name.Name
+	nTests := 0
+	for _, name := range testNames {
+		f, perr := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if perr != nil {
+			return nil, fmt.Errorf("analysis: parse %s: %w", name, perr)
+		}
+		if f.Name.Name != pkgName {
+			continue // external test package (foo_test): separate package, skipped
+		}
+		files = append(files, f)
+		nTests++
+	}
+	if withTests && nTests == 0 {
+		p, err := l.load(dir, path, false)
+		if err == nil {
+			l.cache[key] = p
+		}
+		return p, err
 	}
 	info := &types.Info{
 		Types:      make(map[ast.Expr]types.TypeAndValue),
@@ -172,7 +219,7 @@ func (l *Loader) load(dir, path string) (*Package, error) {
 		return nil, fmt.Errorf("analysis: type-check %s: %w", path, err)
 	}
 	p := &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, TypesInfo: info}
-	l.cache[path] = p
+	l.cache[key] = p
 	return p, nil
 }
 

@@ -30,6 +30,50 @@ func TestLoaderLoadsServerPackage(t *testing.T) {
 	}
 }
 
+func TestLoadImportPathTests(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := l.LoadImportPath("crowdfill/internal/wsock")
+	if err != nil {
+		t.Fatal(err)
+	}
+	withTests, err := l.LoadImportPathTests("crowdfill/internal/wsock")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(withTests.Files) <= len(plain.Files) {
+		t.Fatalf("test variant has %d files, plain %d; want in-package _test.go files added",
+			len(withTests.Files), len(plain.Files))
+	}
+	testFiles := 0
+	for _, f := range withTests.Files {
+		if name := l.Fset.Position(f.Pos()).Filename; contains(name, "_test.go") {
+			testFiles++
+		}
+	}
+	if testFiles == 0 {
+		t.Fatal("test variant loaded no _test.go files")
+	}
+	// The two variants are distinct cache entries: the plain load is not
+	// clobbered by the test-augmented one.
+	plainAgain, err := l.LoadImportPath("crowdfill/internal/wsock")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plainAgain != plain {
+		t.Fatal("plain load no longer cached after test-variant load")
+	}
+	testsAgain, err := l.LoadImportPathTests("crowdfill/internal/wsock")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if testsAgain != withTests {
+		t.Fatal("test-variant load not cached")
+	}
+}
+
 func TestModulePackagesSkipsTestdata(t *testing.T) {
 	l, err := NewLoader(".")
 	if err != nil {

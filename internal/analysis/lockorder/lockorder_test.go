@@ -1,4 +1,4 @@
-package lockscope_test
+package lockorder_test
 
 import (
 	"path/filepath"
@@ -6,11 +6,11 @@ import (
 	"testing"
 
 	"crowdfill/internal/analysis/analysistest"
-	"crowdfill/internal/analysis/lockscope"
+	"crowdfill/internal/analysis/lockorder"
 )
 
-func TestLockscope(t *testing.T) {
+func TestLockorder(t *testing.T) {
 	_, file, _, _ := runtime.Caller(0)
 	testdata := filepath.Join(filepath.Dir(file), "testdata")
-	analysistest.Run(t, testdata, lockscope.New(), "c", "d")
+	analysistest.Run(t, testdata, lockorder.New(), "lo")
 }

@@ -6,28 +6,32 @@
 // ever acquired in the NetServer.mu → bcastLog.mu order (the reverse order
 // deadlocks against the publish path).
 //
-// The analysis is intraprocedural: it tracks Lock/RLock/Unlock/RUnlock and
-// defer-Unlock on sync.Mutex/RWMutex fields through each function body
-// (branches analyzed with a copy of the lock state), flags blocking
-// operations while a guarded lock is held, and models the lock footprint of
-// the broadcast-plane methods themselves (bcastLog.publish acquires
-// bcastLog.mu, NetServer.handleAndPublish acquires NetServer.mu, ...) so
-// ordering violations show up at call sites, not just at literal mu.Lock()
-// lines. Some bodies never see a literal Lock yet always run inside Core's
-// critical section — delta-listener callbacks (ProbableAdded and friends,
-// delivered during index flushes), the planner's repair paths, and the table
-// index's flush machinery — so those start their analysis with an implicit
-// Core hold. sync.Cond.Wait is exempt: it releases the lock while parked and
-// is the designed follower wait. Function literals are skipped — a closure
-// built under a lock does not run under it.
+// Since PR 8 the analysis is interprocedural: it consumes the module call
+// graph (internal/analysis/callgraph), whose scanner tracks
+// Lock/RLock/Unlock/RUnlock and defer-Unlock through each body with
+// branch-cloned lock state and whose fixed point derives, per function,
+// whether it may block and which locks it transitively acquires. "Blocking
+// under lock" and "self-reentry" are therefore found through any depth of
+// module calls; the hand-maintained model that previously listed the lock
+// footprint of every broadcast-plane method is gone, replaced by derived
+// summaries. What remains hand-written is policy, not mechanics: which
+// owners are guarded, which nesting order is sanctioned, and which bodies
+// run inside Core's critical section without a literal Lock (delta-listener
+// callbacks, the planner's repair paths, the index flush machinery — seeded
+// as an implicit Core hold). The blocking leaves (transport I/O on
+// Conn-named receivers, time.Sleep, encoding/json, logf) live with the
+// scanner in callgraph. sync.Cond.Wait is exempt: it releases the lock while
+// parked and is the designed follower wait. Function literals and goroutine
+// bodies are skipped — code built under a lock does not run under it.
 package lockscope
 
 import (
 	"go/ast"
 	"go/token"
-	"go/types"
+	"strings"
 
 	"crowdfill/internal/analysis"
+	"crowdfill/internal/analysis/callgraph"
 )
 
 // guardedOwners are the struct types (by name) whose critical sections must
@@ -46,9 +50,15 @@ var guardedOwners = map[string]bool{
 // flushQueue.mu appears in no pair on purpose: the flusher pool's work queue
 // must never nest with bcastLog.mu in either order (producers collect dirty
 // connections under the log lock, release it, then push), so any nesting is
-// an ordering violation.
+// an ordering violation. lockorder independently checks this global relation
+// for cycles, so adding a pair here cannot silently sanction a deadlock.
 var allowedOrder = map[[2]string]bool{
 	{"NetServer", "bcastLog"}: true,
+	// Conn.wmu is the innermost leaf: the per-connection frame-write lock.
+	// Nothing under it acquires module locks (its critical sections end at
+	// net.Conn writes), so closing a connection while the server lock is
+	// held (register's already-closed branch) cannot invert any order.
+	{"NetServer", "Conn"}: true,
 }
 
 // deltaListenerMethods are the model.ProbableDeltaListener callbacks. The
@@ -66,8 +76,8 @@ var deltaListenerMethods = map[string]bool{
 // implicitGuards seeds the lock state of methods that only ever run inside a
 // Core critical section — the planner's repair paths (both the full-rebuild
 // spec and the delta-driven fast path, plus the engine helpers the deltas
-// drive) and the table index's flush machinery. Keyed like acquires by
-// receiver type name then method name, valued by the guarding owner.
+// drive) and the table index's flush machinery. Keyed by receiver type name
+// then method name, valued by the guarding owner.
 var implicitGuards = map[string]map[string]string{
 	"Planner": {
 		"Repair": "Core", "repairFull": "Core",
@@ -80,97 +90,166 @@ var implicitGuards = map[string]map[string]string{
 	},
 }
 
-// acquires models the lock footprint of broadcast-plane methods, keyed by
-// receiver type name then method name, valued by the owner type of the
-// mutex the method acquires.
-var acquires = map[string]map[string]string{
-	"bcastLog": {
-		"publish": "bcastLog", "newCursor": "bcastLog", "close": "bcastLog",
-		"headSeq": "bcastLog",
-		// Flusher-pool entry points (register is the sanctioned
-		// NetServer.mu → bcastLog.mu nesting; the rest must be called
-		// lock-free).
-		"register": "bcastLog", "deregister": "bcastLog", "dropConn": "bcastLog",
-		"flushOne": "bcastLog", "poolStats": "bcastLog",
-		// enqueue touches only the flush queue; modeling it as a
-		// flushQueue acquisition flags enqueue-under-log-lock call sites.
-		"enqueue": "flushQueue",
-	},
-	"logCursor": {
-		"nextBatch": "bcastLog", "next": "bcastLog", "tryNext": "bcastLog",
-		"markLagged": "bcastLog", "stop": "bcastLog", "lag": "bcastLog",
-		"drainBatch": "bcastLog",
-	},
-	"flushQueue": {
-		"push": "flushQueue", "pop": "flushQueue", "close": "flushQueue",
-	},
-	"NetServer": {
-		"handleAndPublish": "NetServer", "Done": "NetServer", "WithCore": "NetServer",
-	},
-}
-
-// blockingConnMethods are methods that perform (or wait on) I/O when called
-// on a connection-like receiver (a type named Conn).
-var blockingConnMethods = map[string]bool{
-	"Send": true, "SendPrepared": true, "SendPreparedBatch": true,
-	"Recv": true, "RecvBatch": true,
-	"Read": true, "Write": true, "ReadText": true, "WriteText": true,
-	"ReadTextLease": true, "WritePrepared": true, "WritePreparedBatch": true,
-}
-
 // New returns the lockscope analyzer.
 func New() *analysis.Analyzer {
 	return &analysis.Analyzer{
 		Name: "lockscope",
 		Doc: "flags blocking operations (channel ops, transport sends, JSON " +
-			"encoding, Logf) inside bcastLog.mu/NetServer.mu critical sections " +
-			"and enforces the NetServer.mu → bcastLog.mu lock ordering",
+			"encoding, Logf — directly or through any chain of module calls) " +
+			"inside bcastLog.mu/NetServer.mu critical sections and enforces " +
+			"the NetServer.mu → bcastLog.mu lock ordering via call-graph summaries",
 		Run: run,
 	}
 }
 
-// held is one live lock acquisition.
-type held struct {
-	obj   types.Object // the mutex field/var, when resolvable
-	owner string       // name of the struct type owning the mutex ("" for locals)
-	pos   token.Pos
-}
-
 type checker struct {
-	pass *analysis.Pass
+	pass  *analysis.Pass
+	graph *callgraph.Graph
 }
 
 func run(pass *analysis.Pass) error {
-	c := &checker{pass: pass}
-	for _, f := range pass.Files {
-		for _, decl := range f.Decls {
-			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
-				c.walkStmts(fd.Body.List, initialState(fd))
-			}
-		}
+	c := &checker{pass: pass, graph: callgraph.Get(pass.Shared)}
+	for _, n := range c.graph.PkgNodes(pass.Pkg.Path()) {
+		c.checkNode(n)
 	}
 	return nil
 }
 
-// initialState builds the lock state a function body starts with: empty for
-// most, an implicit Core hold for delta-listener callbacks and the modeled
-// always-under-Core methods.
-func initialState(fd *ast.FuncDecl) *[]held {
-	state := &[]held{}
+func (c *checker) checkNode(n *callgraph.Node) {
+	seed := implicitOwner(n.Decl)
+	for _, ev := range n.Events {
+		held := ev.Held
+		if seed != "" {
+			held = append([]callgraph.Lock{{Key: "implicit:" + seed, Owner: seed, Name: seed + ".mu"}}, held...)
+		}
+		switch ev.Kind {
+		case callgraph.KBlock:
+			if ev.Deferred {
+				continue // runs at return time, not under this state
+			}
+			if guardedHeld(held) {
+				c.report(ev.Pos, held, ev.What)
+			}
+		case callgraph.KAcquire:
+			c.checkAcquire(ev.Pos, held, ev.Lock, false)
+		case callgraph.KCall:
+			if ev.Deferred {
+				continue
+			}
+			c.checkCallEvent(ev, held)
+		}
+	}
+}
+
+// checkCallEvent validates one resolved call site against its callees'
+// derived summaries. A call whose callees acquire locks is checked for
+// self-reentry and ordering (at most one diagnostic per call site) and, like
+// the critical sections it opens, is otherwise trusted; a lock-free callee
+// that may block is a blocking operation smuggled into the caller's critical
+// section and is reported transitively.
+func (c *checker) checkCallEvent(ev callgraph.Event, held []callgraph.Lock) {
+	seen := make(map[string]bool)
+	acquiresAny := false
+	for _, ck := range ev.Callees {
+		sum := c.graph.Summary(ck)
+		if sum == nil {
+			continue
+		}
+		for _, acq := range callgraph.SortedAcquires(sum) {
+			if seen[acq.Lock.Key] {
+				continue
+			}
+			seen[acq.Lock.Key] = true
+			acquiresAny = true
+			if c.checkAcquire(ev.Pos, held, acq.Lock, true) {
+				return
+			}
+		}
+	}
+	if acquiresAny || !guardedHeld(held) {
+		return
+	}
+	for _, ck := range ev.Callees {
+		sum := c.graph.Summary(ck)
+		if sum == nil || !sum.Blocks {
+			continue
+		}
+		what := "call to " + ev.Display + " blocks — " + sum.BlockWhat
+		if len(sum.BlockVia) > 0 {
+			what += " (via " + strings.Join(sum.BlockVia, " → ") + ")"
+		}
+		c.report(ev.Pos, held, what)
+		return
+	}
+}
+
+// checkAcquire validates a new acquisition (literal, or derived at a call
+// site) against the locks currently held. Reports at most one diagnostic;
+// returns whether it reported.
+func (c *checker) checkAcquire(pos token.Pos, held []callgraph.Lock, lock callgraph.Lock, isCall bool) bool {
+	for _, h := range held {
+		if !isCall && lock.Key != "" && h.Key == lock.Key {
+			c.pass.Reportf(pos, "acquiring %s while already holding it (self-deadlock)", lock.Name)
+			return true
+		}
+		if isCall && lock.Owner != "" && h.Owner == lock.Owner {
+			c.pass.Reportf(pos, "call acquires %s.mu while a %s.mu critical section is open (self-deadlock)", lock.Owner, h.Owner)
+			return true
+		}
+		if isCall && lock.Owner == "" && lock.Key != "" && h.Key == lock.Key {
+			c.pass.Reportf(pos, "call acquires %s while a %s critical section is open (self-deadlock)", lock.Name, h.Name)
+			return true
+		}
+		if h.Owner == "" || lock.Owner == "" {
+			continue
+		}
+		if allowedOrder[[2]string{h.Owner, lock.Owner}] {
+			continue
+		}
+		if guardedOwners[h.Owner] || guardedOwners[lock.Owner] {
+			c.pass.Reportf(pos, "lock ordering: acquiring %s.mu while holding %s.mu; the sanctioned order is NetServer.mu → bcastLog.mu only", lock.Owner, h.Owner)
+			return true
+		}
+	}
+	return false
+}
+
+// guardedHeld reports whether any currently-held lock belongs to a guarded
+// owner type.
+func guardedHeld(held []callgraph.Lock) bool {
+	for _, h := range held {
+		if guardedOwners[h.Owner] {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *checker) report(pos token.Pos, held []callgraph.Lock, what string) {
+	owner := ""
+	for _, h := range held {
+		if guardedOwners[h.Owner] {
+			owner = h.Owner
+		}
+	}
+	c.pass.Reportf(pos, "%s inside a %s.mu critical section; the broadcast plane requires non-blocking critical sections", what, owner)
+}
+
+// implicitOwner returns the owner whose critical section fd's body always
+// runs inside ("" for most functions): the delta-listener callbacks and the
+// modeled always-under-Core methods.
+func implicitOwner(fd *ast.FuncDecl) string {
 	recv := recvDeclTypeName(fd)
 	if recv == "" {
-		return state
+		return ""
 	}
-	owner := ""
 	if deltaListenerMethods[fd.Name.Name] {
-		owner = "Core"
-	} else if m, ok := implicitGuards[recv]; ok {
-		owner = m[fd.Name.Name]
+		return "Core"
 	}
-	if owner != "" {
-		*state = append(*state, held{owner: owner, pos: fd.Pos()})
+	if m, ok := implicitGuards[recv]; ok {
+		return m[fd.Name.Name]
 	}
-	return state
+	return ""
 }
 
 // recvDeclTypeName returns the declared receiver type name of a method, or
@@ -185,344 +264,6 @@ func recvDeclTypeName(fd *ast.FuncDecl) string {
 	}
 	if id, ok := t.(*ast.Ident); ok {
 		return id.Name
-	}
-	return ""
-}
-
-func (c *checker) walkStmts(stmts []ast.Stmt, state *[]held) {
-	for _, s := range stmts {
-		c.walkStmt(s, state)
-	}
-}
-
-// clone copies the lock state for a branch: acquisitions and releases inside
-// a conditional do not propagate to the statements after it (branches in
-// this codebase that unlock early always return).
-func clone(state *[]held) *[]held {
-	cp := append([]held(nil), *state...)
-	return &cp
-}
-
-func (c *checker) walkStmt(s ast.Stmt, state *[]held) {
-	switch s := s.(type) {
-	case *ast.ExprStmt:
-		if call, ok := s.X.(*ast.CallExpr); ok && c.mutexOp(call, state) {
-			return
-		}
-		c.scan(s, state)
-	case *ast.DeferStmt:
-		if c.isUnlockCall(s.Call) {
-			return // defer mu.Unlock(): held until return; nothing to pop
-		}
-		// Other deferred calls run at return time; out of scope.
-	case *ast.GoStmt:
-		// The spawned goroutine does not run under the caller's locks.
-	case *ast.BlockStmt:
-		c.walkStmts(s.List, state)
-	case *ast.LabeledStmt:
-		c.walkStmt(s.Stmt, state)
-	case *ast.IfStmt:
-		if s.Init != nil {
-			c.walkStmt(s.Init, state)
-		}
-		c.scan(s.Cond, state)
-		c.walkStmts(s.Body.List, clone(state))
-		if s.Else != nil {
-			c.walkStmt(s.Else, clone(state))
-		}
-	case *ast.ForStmt:
-		if s.Init != nil {
-			c.walkStmt(s.Init, state)
-		}
-		if s.Cond != nil {
-			c.scan(s.Cond, state)
-		}
-		body := clone(state)
-		c.walkStmts(s.Body.List, body)
-		if s.Post != nil {
-			c.walkStmt(s.Post, body)
-		}
-	case *ast.RangeStmt:
-		if tv, ok := c.pass.TypesInfo.Types[s.X]; ok {
-			if _, isChan := tv.Type.Underlying().(*types.Chan); isChan && c.guardedHeld(state) {
-				c.report(s.Pos(), state, "ranging over a channel (blocking receive)")
-			}
-		}
-		c.scan(s.X, state)
-		c.walkStmts(s.Body.List, clone(state))
-	case *ast.SwitchStmt:
-		if s.Init != nil {
-			c.walkStmt(s.Init, state)
-		}
-		if s.Tag != nil {
-			c.scan(s.Tag, state)
-		}
-		for _, cc := range s.Body.List {
-			if cl, ok := cc.(*ast.CaseClause); ok {
-				c.walkStmts(cl.Body, clone(state))
-			}
-		}
-	case *ast.TypeSwitchStmt:
-		for _, cc := range s.Body.List {
-			if cl, ok := cc.(*ast.CaseClause); ok {
-				c.walkStmts(cl.Body, clone(state))
-			}
-		}
-	case *ast.SelectStmt:
-		hasDefault := false
-		for _, cc := range s.Body.List {
-			if cl, ok := cc.(*ast.CommClause); ok && cl.Comm == nil {
-				hasDefault = true
-			}
-		}
-		if !hasDefault && c.guardedHeld(state) {
-			c.report(s.Pos(), state, "select without a default clause (blocking)")
-		}
-		for _, cc := range s.Body.List {
-			if cl, ok := cc.(*ast.CommClause); ok {
-				c.walkStmts(cl.Body, clone(state))
-			}
-		}
-	case *ast.SendStmt:
-		if c.guardedHeld(state) {
-			c.report(s.Pos(), state, "channel send")
-		}
-	default:
-		c.scan(s, state)
-	}
-}
-
-// scan inspects an expression-bearing node while locks may be held: it flags
-// blocking operations and models nested lock acquisitions at call sites.
-// Function literals are not entered.
-func (c *checker) scan(node ast.Node, state *[]held) {
-	if node == nil {
-		return
-	}
-	ast.Inspect(node, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.FuncLit:
-			return false
-		case *ast.UnaryExpr:
-			if n.Op == token.ARROW && c.guardedHeld(state) {
-				c.report(n.Pos(), state, "channel receive")
-			}
-		case *ast.CallExpr:
-			c.checkCall(n, state)
-		}
-		return true
-	})
-}
-
-func (c *checker) checkCall(call *ast.CallExpr, state *[]held) {
-	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
-	if !ok {
-		// Calls through plain identifiers: flag logf-style function values.
-		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && isLogfName(id.Name) && c.guardedHeld(state) {
-			c.report(call.Pos(), state, "call through "+id.Name+" (may block on log I/O)")
-		}
-		return
-	}
-	name := sel.Sel.Name
-
-	// Package-level calls: time.Sleep, encoding/json.
-	if pkg := pkgPath(c.pass, sel); pkg != "" {
-		if !c.guardedHeld(state) {
-			return
-		}
-		switch {
-		case pkg == "time" && name == "Sleep":
-			c.report(call.Pos(), state, "time.Sleep")
-		case pkg == "encoding/json" && (name == "Marshal" || name == "MarshalIndent" || name == "Unmarshal"):
-			c.report(call.Pos(), state, "json."+name+" (encode/decode off-lock and publish the bytes)")
-		}
-		return
-	}
-
-	recv := receiverTypeName(c.pass, sel.X)
-
-	// sync.Cond is the sanctioned in-lock wait/wake mechanism.
-	if recv == "Cond" && (name == "Wait" || name == "Broadcast" || name == "Signal") {
-		return
-	}
-
-	// Modeled broadcast-plane methods: treat the call as acquiring the
-	// owner's mutex for ordering purposes.
-	if m, ok := acquires[recv]; ok {
-		if owner, ok := m[name]; ok {
-			c.checkAcquire(call.Pos(), state, nil, owner)
-			return
-		}
-	}
-
-	if !c.guardedHeld(state) {
-		return
-	}
-	switch {
-	case recv == "Conn" && blockingConnMethods[name]:
-		c.report(call.Pos(), state, "transport "+name+" (blocks until the peer drains)")
-	case recv == "WaitGroup" && name == "Wait":
-		c.report(call.Pos(), state, "sync.WaitGroup.Wait")
-	case isLogfName(name):
-		c.report(call.Pos(), state, "call through "+name+" (may block on log I/O)")
-	}
-}
-
-// mutexOp handles a statement-level mutex call, updating state. Reports
-// ordering violations on acquisition. Returns true when the call was a
-// Lock/RLock/Unlock/RUnlock on a sync.Mutex or RWMutex.
-func (c *checker) mutexOp(call *ast.CallExpr, state *[]held) bool {
-	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
-	if !ok {
-		return false
-	}
-	name := sel.Sel.Name
-	if name != "Lock" && name != "RLock" && name != "Unlock" && name != "RUnlock" {
-		return false
-	}
-	recvType, ok := c.pass.TypesInfo.Types[sel.X]
-	if !ok || !isMutexType(recvType.Type) {
-		return false
-	}
-	obj, owner := mutexIdentity(c.pass, sel.X)
-	switch name {
-	case "Lock", "RLock":
-		c.checkAcquire(call.Pos(), state, obj, owner)
-		*state = append(*state, held{obj: obj, owner: owner, pos: call.Pos()})
-	case "Unlock", "RUnlock":
-		for i := len(*state) - 1; i >= 0; i-- {
-			h := (*state)[i]
-			if (obj != nil && h.obj == obj) || (obj == nil && h.owner == owner) {
-				*state = append((*state)[:i], (*state)[i+1:]...)
-				break
-			}
-		}
-	}
-	return true
-}
-
-// checkAcquire validates a new acquisition (explicit or modeled) against the
-// locks currently held.
-func (c *checker) checkAcquire(pos token.Pos, state *[]held, obj types.Object, owner string) {
-	for _, h := range *state {
-		if obj != nil && h.obj != nil && h.obj == obj {
-			name := obj.Name()
-			if owner != "" {
-				name = owner + "." + name
-			}
-			c.pass.Reportf(pos, "acquiring %s while already holding it (self-deadlock)", name)
-			return
-		}
-		if h.owner == "" || owner == "" {
-			continue
-		}
-		if h.owner == owner && obj == nil {
-			c.pass.Reportf(pos, "call acquires %s.mu while a %s.mu critical section is open (self-deadlock)", owner, h.owner)
-			return
-		}
-		if allowedOrder[[2]string{h.owner, owner}] {
-			continue
-		}
-		if guardedOwners[h.owner] || guardedOwners[owner] {
-			c.pass.Reportf(pos, "lock ordering: acquiring %s.mu while holding %s.mu; the sanctioned order is NetServer.mu → bcastLog.mu only", owner, h.owner)
-			return
-		}
-	}
-}
-
-// isUnlockCall reports whether call is <mutex>.Unlock or RUnlock.
-func (c *checker) isUnlockCall(call *ast.CallExpr) bool {
-	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
-	if !ok || (sel.Sel.Name != "Unlock" && sel.Sel.Name != "RUnlock") {
-		return false
-	}
-	tv, ok := c.pass.TypesInfo.Types[sel.X]
-	return ok && isMutexType(tv.Type)
-}
-
-// guardedHeld reports whether any currently-held lock belongs to a guarded
-// owner type.
-func (c *checker) guardedHeld(state *[]held) bool {
-	for _, h := range *state {
-		if guardedOwners[h.owner] {
-			return true
-		}
-	}
-	return false
-}
-
-func (c *checker) report(pos token.Pos, state *[]held, what string) {
-	owner := ""
-	for _, h := range *state {
-		if guardedOwners[h.owner] {
-			owner = h.owner
-		}
-	}
-	c.pass.Reportf(pos, "%s inside a %s.mu critical section; the broadcast plane requires non-blocking critical sections", what, owner)
-}
-
-// mutexIdentity resolves the mutex expression (s.mu, l.mu, mu) to its object
-// and the name of the struct type that owns it.
-func mutexIdentity(pass *analysis.Pass, expr ast.Expr) (types.Object, string) {
-	switch e := ast.Unparen(expr).(type) {
-	case *ast.SelectorExpr:
-		var obj types.Object
-		if s, ok := pass.TypesInfo.Selections[e]; ok && s.Kind() == types.FieldVal {
-			obj = s.Obj()
-		}
-		owner := receiverTypeName(pass, e.X)
-		return obj, owner
-	case *ast.Ident:
-		return pass.TypesInfo.Uses[e], ""
-	}
-	return nil, ""
-}
-
-// receiverTypeName returns the named type of expr after stripping pointers.
-func receiverTypeName(pass *analysis.Pass, expr ast.Expr) string {
-	tv, ok := pass.TypesInfo.Types[expr]
-	if !ok || tv.Type == nil {
-		return ""
-	}
-	t := tv.Type
-	if ptr, ok := t.Underlying().(*types.Pointer); ok {
-		t = ptr.Elem()
-	}
-	if named, ok := t.(*types.Named); ok {
-		return named.Obj().Name()
-	}
-	return ""
-}
-
-// isMutexType reports whether t is sync.Mutex or sync.RWMutex (or a pointer
-// to one).
-func isMutexType(t types.Type) bool {
-	if t == nil {
-		return false
-	}
-	if ptr, ok := t.Underlying().(*types.Pointer); ok {
-		t = ptr.Elem()
-	}
-	named, ok := t.(*types.Named)
-	if !ok {
-		return false
-	}
-	obj := named.Obj()
-	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
-		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
-}
-
-func isLogfName(name string) bool { return name == "logf" || name == "Logf" }
-
-// pkgPath returns the import path when sel is a package-qualified reference
-// (time.Sleep), or "".
-func pkgPath(pass *analysis.Pass, sel *ast.SelectorExpr) string {
-	id, ok := sel.X.(*ast.Ident)
-	if !ok {
-		return ""
-	}
-	if pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName); ok {
-		return pn.Imported().Path()
 	}
 	return ""
 }

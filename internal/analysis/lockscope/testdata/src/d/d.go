@@ -1,0 +1,122 @@
+// Package d exercises the interprocedural half of lockscope: blocking and
+// lock acquisition found through chains of module calls via call-graph
+// summaries, not just literally inside a critical section. (Package c covers
+// the direct, single-function cases.)
+package d
+
+import "sync"
+
+type bcastLog struct {
+	mu   sync.Mutex
+	head uint64
+}
+
+type NetServer struct {
+	mu  sync.Mutex
+	ch  chan int
+	log *bcastLog
+}
+
+// emit blocks but holds nothing itself: no finding on the leaf.
+func (s *NetServer) emit() { s.ch <- 1 }
+
+// relay is a plain passthrough; the block is two calls deep from its callers.
+func (s *NetServer) relay() { s.emit() }
+
+// broadcastUnderLock smuggles the blocking send into the critical section
+// through two module calls: reported transitively with the via chain.
+func (s *NetServer) broadcastUnderLock() {
+	s.mu.Lock()
+	s.relay() // want `call to NetServer.relay blocks — channel send \(via NetServer.emit\)`
+	s.mu.Unlock()
+}
+
+// relayAfterUnlock is fine: the chain runs outside the section.
+func (s *NetServer) relayAfterUnlock() {
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.relay()
+}
+
+// headSeq opens and closes the log's critical section.
+func (l *bcastLog) headSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.head
+}
+
+// snapshot acquires transitively: its summary carries headSeq's acquire.
+func (l *bcastLog) snapshot() uint64 { return l.headSeq() }
+
+// doubleEntry re-enters the log lock through two calls: transitive
+// self-reentry, found from the callee's derived acquire set.
+func (l *bcastLog) doubleEntry() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.snapshot() // want `call acquires bcastLog.mu while a bcastLog.mu critical section is open`
+}
+
+// publish opens the log's critical section directly.
+func (l *bcastLog) publish() {
+	l.mu.Lock()
+	l.head++
+	l.mu.Unlock()
+}
+
+// publishWrapped hides the acquisition one call deeper.
+func (l *bcastLog) publishWrapped() { l.publish() }
+
+// goodOrderDeep nests NetServer.mu → bcastLog.mu through the wrapper: the
+// sanctioned order, no finding even though the acquire is transitive.
+func (s *NetServer) goodOrderDeep() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.log.publishWrapped()
+}
+
+type flushQueue struct {
+	mu sync.Mutex
+	q  []int
+}
+
+func (q *flushQueue) push(v int) {
+	q.mu.Lock()
+	q.q = append(q.q, v)
+	q.mu.Unlock()
+}
+
+// pushWrapped hides the queue acquisition one call deeper.
+func (q *flushQueue) pushWrapped(v int) { q.push(v) }
+
+// pushDeepUnderLogLock nests flushQueue.mu under bcastLog.mu through the
+// wrapper: the ordering violation is derived from the callee's summary.
+func (l *bcastLog) pushDeepUnderLogLock(fq *flushQueue) {
+	l.mu.Lock()
+	fq.pushWrapped(1) // want `lock ordering: acquiring flushQueue.mu while holding bcastLog.mu`
+	l.mu.Unlock()
+}
+
+// goUnderLock launches the blocking chain in a new goroutine: the goroutine
+// does not hold the caller's lock, so no finding.
+func (s *NetServer) goUnderLock() {
+	s.mu.Lock()
+	go s.relay()
+	s.mu.Unlock()
+}
+
+// deferredRelay defers the blocking chain: it runs at return time, after the
+// explicit unlock below, so no finding.
+func (s *NetServer) deferredRelay() {
+	s.mu.Lock()
+	defer s.relay()
+	s.mu.Unlock()
+}
+
+// closureUnderLock builds (but does not run) the blocking chain under the
+// lock: function literals are not call edges.
+func (s *NetServer) closureUnderLock() func() {
+	s.mu.Lock()
+	fn := func() { s.relay() }
+	s.mu.Unlock()
+	return fn
+}

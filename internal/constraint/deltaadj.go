@@ -143,14 +143,14 @@ func (e *deltaAdj) removeTemplate(t int) {
 // lives in exactly one bucket, so no template is visited twice.
 func (e *deltaAdj) candidateTemplates(v model.Vector, visit func(t int)) {
 	for _, t := range e.always {
-		visit(t)
+		visit(t) //lint:allow hotalloc non-escaping visit callback over index buckets
 	}
 	for col, cell := range v {
 		if !cell.Set {
 			continue
 		}
 		for _, t := range e.byEq[eqKey{col: col, val: cell.Val}] {
-			visit(t)
+			visit(t) //lint:allow hotalloc non-escaping visit callback over index buckets
 		}
 	}
 }
@@ -192,7 +192,7 @@ func (e *deltaAdj) insertAdj(t, s int) {
 // Triggered when dead slots outnumber live ones, so its O(|P| + Σ deg) cost
 // amortizes to O(1) per delta.
 func (e *deltaAdj) compact() {
-	dead := make([]bool, len(e.slots))
+	dead := make([]bool, len(e.slots)) //lint:allow hotalloc compaction amortizes to O(1) per delta; the scratch bitmap is its one allocation
 	for s, r := range e.slots {
 		if r != nil && !e.live[s] {
 			dead[s] = true
@@ -228,11 +228,13 @@ func (e *deltaAdj) ProbableAdded(r *model.Row) {
 		return
 	}
 	s := e.allocSlot(r)
-	e.candidateTemplates(r.Vec, func(t int) {
-		if !e.p.removed[t] && e.p.tmpl.MatchCandidate(e.p.tmpl.Rows[t], r.Vec) {
-			e.insertAdj(t, s)
-		}
-	})
+	e.candidateTemplates(r.Vec,
+		//lint:allow hotalloc non-escaping visit callback
+		func(t int) {
+			if !e.p.removed[t] && e.p.tmpl.MatchCandidate(e.p.tmpl.Rows[t], r.Vec) {
+				e.insertAdj(t, s)
+			}
+		})
 }
 
 // ProbableRemoved marks the row's slot dead. The adjacency is retained: if

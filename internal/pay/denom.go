@@ -100,12 +100,13 @@ func (t *denomTracker) setSurplus(r *model.Row) {
 
 // --- model.ProbableDeltaListener ---
 
+//lint:hotpath
 func (t *denomTracker) ProbableAdded(r *model.Row) {
 	if _, ok := t.probable[r.ID]; ok {
 		return
 	}
 	t.probable[r.ID] = r
-	t.byVec[r.Vec.Encode()]++
+	t.byVec[r.Vec.Encode()]++ //lint:allow hotalloc the by-vector counter is keyed by the canonical encoding, one key string per probable-set delta
 	t.setSurplus(r)
 	for _, e := range t.cover {
 		if r.Vec.Superset(e.vec) {
@@ -117,12 +118,13 @@ func (t *denomTracker) ProbableAdded(r *model.Row) {
 	}
 }
 
+//lint:hotpath
 func (t *denomTracker) ProbableRemoved(r *model.Row) {
 	if _, ok := t.probable[r.ID]; !ok {
 		return
 	}
 	delete(t.probable, r.ID)
-	k := r.Vec.Encode()
+	k := r.Vec.Encode() //lint:allow hotalloc the by-vector counter is keyed by the canonical encoding, one key string per probable-set delta
 	if t.byVec[k]--; t.byVec[k] <= 0 {
 		delete(t.byVec, k)
 	}
@@ -140,6 +142,7 @@ func (t *denomTracker) ProbableRemoved(r *model.Row) {
 	}
 }
 
+//lint:hotpath
 func (t *denomTracker) ProbableUpdated(r *model.Row) {
 	if _, ok := t.probable[r.ID]; !ok {
 		return

@@ -479,6 +479,8 @@ func (c *logCursor) lag() uint64 {
 // without blocking: at the head it returns 0, nil. The flusher pool's
 // non-blocking counterpart of nextBatch — a flusher never waits on a cursor,
 // it parks the connection instead.
+//
+//lint:hotpath
 func (c *logCursor) drainBatch(out []bcastRecord) (int, error) {
 	l := c.log
 	l.mu.RLock()

@@ -121,7 +121,7 @@ func (s *NetServer) serve(conn transport.Conn, worker string) {
 func (s *NetServer) handleAndPublish(clientID string, m sync.Message) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	bcasts, err := s.core.HandleBroadcast(clientID, m)
+	bcasts, err := s.core.HandleBroadcast(clientID, m) //lint:allow lockscope runCC's overrun logf is a cold diagnostic on the non-convergence path; the transition itself is non-blocking
 	if err != nil {
 		return err
 	}

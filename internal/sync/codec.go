@@ -35,6 +35,8 @@ import (
 // extended slice. The bytes are identical to json.Marshal(m). Float fields
 // (Estimates) must be finite; EncodeMessage performs that check and is the
 // error-returning entry point.
+//
+//lint:hotpath
 func AppendMessage(dst []byte, m Message) []byte {
 	dst = append(dst, `{"type":`...)
 	dst = strconv.AppendInt(dst, int64(m.Type), 10)
@@ -79,7 +81,7 @@ func AppendMessage(dst []byte, m Message) []byte {
 	}
 	if m.Snapshot != nil {
 		dst = append(dst, `,"snapshot":`...)
-		dst = appendSnapshot(dst, m.Snapshot)
+		dst = appendSnapshot(dst, m.Snapshot) //lint:allow hotalloc snapshot records are join-time private messages, not steady-state broadcasts
 	}
 	if m.Estimates != nil {
 		dst = append(dst, `,"estimates":`...)
@@ -341,6 +343,8 @@ var errSyntax = errors.New("invalid JSON syntax")
 // fallback, null is a field-level no-op — and produces an identical result,
 // without retaining any part of data (every string is copied out), so data
 // may be a transport-owned buffer that is reused immediately after.
+//
+//lint:hotpath
 func DecodeMessageInto(data []byte, m *Message) error {
 	*m = Message{}
 	d := decoder{data: data}
@@ -372,7 +376,7 @@ type decoder struct {
 func (d *decoder) eof() bool  { return d.pos >= len(d.data) }
 func (d *decoder) peek() byte { return d.data[d.pos] }
 func (d *decoder) fail(msg string) error {
-	return fmt.Errorf("sync: decode message: %w: %s at offset %d", errSyntax, msg, d.pos)
+	return fmt.Errorf("sync: decode message: %w: %s at offset %d", errSyntax, msg, d.pos) //lint:allow hotalloc error construction happens only on malformed input
 }
 
 func (d *decoder) skipSpace() {
@@ -397,7 +401,7 @@ func (d *decoder) push() error {
 func (d *decoder) pop() { d.depth-- }
 
 func (d *decoder) expectLiteral(lit string) error {
-	if len(d.data)-d.pos < len(lit) || string(d.data[d.pos:d.pos+len(lit)]) != lit {
+	if len(d.data)-d.pos < len(lit) || string(d.data[d.pos:d.pos+len(lit)]) != lit { //lint:allow hotalloc comparison-context conversion, the compiler elides the copy
 		return d.fail("invalid literal")
 	}
 	d.pos += len(lit)
@@ -462,7 +466,7 @@ func (d *decoder) decodeObject(names []string, decodeField func(i int) error) er
 		}
 		d.pos++
 		if idx >= 0 {
-			if err := decodeField(idx); err != nil {
+			if err := decodeField(idx); err != nil { //lint:allow hotalloc non-escaping decode callback, the concrete field decoders are in this file
 				return err
 			}
 		} else if err := d.skipValue(); err != nil {
@@ -489,7 +493,7 @@ func (d *decoder) decodeObject(names []string, decodeField func(i int) error) er
 // encoding/json's byExactName/byFoldedName lookup). Returns -1 for unknown.
 func matchField(key []byte, names []string) int {
 	for i, n := range names {
-		if string(key) == n {
+		if string(key) == n { //lint:allow hotalloc comparison-context conversion, the compiler elides the copy
 			return i
 		}
 	}
@@ -554,37 +558,39 @@ func simpleFold(r rune) rune { return unicode.SimpleFold(r) }
 // decodeMessage decodes a JSON object (already vetted to start with '{' or
 // be reachable) into m.
 func (d *decoder) decodeMessage(m *Message) error {
-	return d.decodeObject(messageFields, func(i int) error {
-		switch i {
-		case 0: // type
-			return d.decodeInt64(func(v int64) { m.Type = MsgType(v) })
-		case 1: // row
-			return d.decodeString(func(s string) { m.Row = model.RowID(s) })
-		case 2: // newRow
-			return d.decodeString(func(s string) { m.NewRow = model.RowID(s) })
-		case 3: // vec
-			return d.decodeVector(&m.Vec)
-		case 4: // origin
-			return d.decodeString(func(s string) { m.Origin = s })
-		case 5: // worker
-			return d.decodeString(func(s string) { m.Worker = s })
-		case 6: // seq
-			return d.decodeInt64(func(v int64) { m.Seq = v })
-		case 7: // ts
-			return d.decodeInt64(func(v int64) { m.TS = v })
-		case 8: // auto
-			return d.decodeBool(&m.Auto)
-		case 9: // col
-			return d.decodeInt64(func(v int64) { m.Col = int(v) })
-		case 10: // val
-			return d.decodeString(func(s string) { m.Val = s })
-		case 11: // snapshot
-			return d.decodeSnapshotPtr(&m.Snapshot)
-		case 12: // estimates
-			return d.decodeEstimatesPtr(&m.Estimates)
-		}
-		return d.fail("unreachable field index")
-	})
+	return d.decodeObject(messageFields,
+		//lint:allow hotalloc non-escaping field callback, it never outlives the decode call
+		func(i int) error {
+			switch i {
+			case 0: // type
+				return d.decodeInt64(func(v int64) { m.Type = MsgType(v) })
+			case 1: // row
+				return d.decodeString(func(s string) { m.Row = model.RowID(s) })
+			case 2: // newRow
+				return d.decodeString(func(s string) { m.NewRow = model.RowID(s) })
+			case 3: // vec
+				return d.decodeVector(&m.Vec)
+			case 4: // origin
+				return d.decodeString(func(s string) { m.Origin = s })
+			case 5: // worker
+				return d.decodeString(func(s string) { m.Worker = s })
+			case 6: // seq
+				return d.decodeInt64(func(v int64) { m.Seq = v })
+			case 7: // ts
+				return d.decodeInt64(func(v int64) { m.TS = v })
+			case 8: // auto
+				return d.decodeBool(&m.Auto)
+			case 9: // col
+				return d.decodeInt64(func(v int64) { m.Col = int(v) })
+			case 10: // val
+				return d.decodeString(func(s string) { m.Val = s })
+			case 11: // snapshot
+				return d.decodeSnapshotPtr(&m.Snapshot)
+			case 12: // estimates
+				return d.decodeEstimatesPtr(&m.Estimates)
+			}
+			return d.fail("unreachable field index")
+		})
 }
 
 var messageFields = []string{
@@ -1180,7 +1186,7 @@ func (d *decoder) decodeStringBytes() ([]byte, error) {
 		i += size
 	}
 	// Slow path: build the unescaped form.
-	out := append([]byte(nil), d.data[start:i]...)
+	out := append([]byte(nil), d.data[start:i]...) //lint:allow hotalloc unescape slow path, reached only by strings containing escapes
 	for i < len(d.data) {
 		c := d.data[i]
 		switch {

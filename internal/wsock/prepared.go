@@ -42,6 +42,8 @@ func (f *PreparedFrame) Payload() []byte { return f.payload }
 // WritePrepared sends a prepared text message. On server connections the
 // cached frame bytes are written as-is (one buffer, no per-client framing
 // work); client connections re-frame with a fresh mask, as RFC 6455 requires.
+//
+//lint:hotpath
 func (c *Conn) WritePrepared(f *PreparedFrame) error {
 	if c.client {
 		return c.writeFrame(opText, f.payload)
@@ -64,6 +66,8 @@ func (c *Conn) WritePrepared(f *PreparedFrame) error {
 // have produced; client connections mask each frame with a fresh key while
 // copying into the shared buffer, still one Write. Same serialization as
 // every other writer (wmu).
+//
+//lint:hotpath
 func (c *Conn) WritePreparedBatch(frames []*PreparedFrame) error {
 	if len(frames) == 0 {
 		return nil
