@@ -11,6 +11,12 @@
 //	crowdfill-ctl -server http://localhost:8080 result -id specs-000001
 //	crowdfill-ctl -server http://localhost:8080 trace  -id specs-000001
 //	crowdfill-ctl -server http://localhost:8080 pay    -id specs-000001
+//
+// The metrics and events commands read the server's debug listener
+// (crowdfill-server -debug-addr) instead of the REST API:
+//
+//	crowdfill-ctl -debug http://localhost:6060 metrics
+//	crowdfill-ctl -debug http://localhost:6060 events
 package main
 
 import (
@@ -26,12 +32,13 @@ import (
 
 func main() {
 	server := flag.String("server", "http://localhost:8080", "front-end server URL")
+	debug := flag.String("debug", "http://localhost:6060", "server debug listener URL (for metrics/events)")
 	id := flag.String("id", "", "specification id")
 	specPath := flag.String("spec", "", "table specification JSON file")
 	flag.Parse()
 	cmd := flag.Arg(0)
 	if cmd == "" {
-		log.Fatal("crowdfill-ctl: need a command: create, list, get, start, status, result, trace, statements, pay, delete")
+		log.Fatal("crowdfill-ctl: need a command: create, list, get, start, status, result, trace, statements, pay, delete, metrics, events")
 	}
 
 	needID := func() string {
@@ -68,6 +75,10 @@ func main() {
 		do("GET", *server+"/api/specs/"+needID()+"/statements", nil)
 	case "pay":
 		do("POST", *server+"/api/specs/"+needID()+"/pay", nil)
+	case "metrics":
+		do("GET", *debug+"/debug/metrics.json", nil)
+	case "events":
+		do("GET", *debug+"/debug/events", nil)
 	default:
 		log.Fatalf("crowdfill-ctl: unknown command %q", cmd)
 	}

@@ -12,25 +12,37 @@
 //	crowdfill-ctl -server http://localhost:8080 create -spec spec.json
 //	crowdfill-ctl -server http://localhost:8080 start -id specs-000001
 //	crowdfill-worker -url ws://localhost:8080/ws/specs-000001 -spec spec.json -worker w1
+//
+// With -debug-addr a second listener exposes the operational plane:
+// Prometheus metrics (/debug/metrics), a JSON snapshot (/debug/metrics.json),
+// the flight-recorder dump (/debug/events), and net/http/pprof
+// (/debug/pprof/). Kept off the main listener so the serving port never
+// exposes profiling endpoints.
 package main
 
 import (
 	"flag"
 	"log"
+	"net/http"
 
 	"crowdfill/internal/docstore"
 	"crowdfill/internal/frontend"
 	"crowdfill/internal/marketplace"
-	"net/http"
+	"crowdfill/internal/metrics"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "HTTP listen address")
+	debugAddr := flag.String("debug-addr", "", "debug listen address for /debug/metrics, /debug/events, /debug/pprof (empty = disabled)")
 	db := flag.String("db", "", "document store path (empty = in-memory)")
 	pool := flag.Int("pool", 100, "simulated marketplace worker pool size")
 	maxWorkers := flag.Int("max-workers", 10, "max workers per collection HIT")
 	seed := flag.Int64("seed", 1, "marketplace arrival seed")
 	flag.Parse()
+
+	// Operational events (client drops, repair overruns) reach the process
+	// log through the flight recorder's sink.
+	metrics.DefaultRecorder().SetLogf(log.Printf)
 
 	store, err := docstore.Open(*db)
 	if err != nil {
@@ -38,6 +50,15 @@ func main() {
 	}
 	market := marketplace.New(*seed, *pool, true)
 	fe := frontend.New(store, market, *maxWorkers)
+
+	if *debugAddr != "" {
+		go func() {
+			log.Printf("crowdfill-server: debug endpoints (metrics, events, pprof) on %s", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, metrics.Handler(nil, nil)); err != nil {
+				log.Fatalf("crowdfill-server: debug listener: %v", err)
+			}
+		}()
+	}
 
 	log.Printf("crowdfill-server: REST API and WebSocket endpoints on %s", *addr)
 	log.Printf("crowdfill-server: marketplace sandbox with %d pooled workers", *pool)

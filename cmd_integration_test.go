@@ -3,6 +3,7 @@ package crowdfill
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -30,15 +31,22 @@ func TestCommandBinariesEndToEnd(t *testing.T) {
 		t.Fatalf("build: %v\n%s", err, out)
 	}
 
-	// Pick a free port.
+	// Pick free ports for the API listener and the debug listener.
 	lis, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
 	addr := lis.Addr().String()
 	lis.Close()
+	dlis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	debugAddr := dlis.Addr().String()
+	dlis.Close()
 
-	server := exec.Command(filepath.Join(bin, "crowdfill-server"), "-addr", addr)
+	server := exec.Command(filepath.Join(bin, "crowdfill-server"),
+		"-addr", addr, "-debug-addr", debugAddr)
 	server.Stdout = os.Stderr
 	server.Stderr = os.Stderr
 	if err := server.Start(); err != nil {
@@ -138,6 +146,33 @@ func TestCommandBinariesEndToEnd(t *testing.T) {
 		t.Fatalf("get output:\n%s", got)
 	}
 
+	// The debug listener saw the whole session: the Prometheus exposition
+	// must show broadcast publishes and marketplace payments, pprof must be
+	// mounted, and crowdfill-ctl's metrics/events commands must read the
+	// same listener.
+	debugBase := "http://" + debugAddr
+	prom := httpGetBody(t, debugBase+"/debug/metrics")
+	for _, series := range []string{
+		"crowdfill_bcast_publish_total",
+		"crowdfill_ws_bytes_out_total",
+		"crowdfill_mkt_payments_total",
+	} {
+		if !strings.Contains(prom, series) {
+			t.Fatalf("debug exposition missing %s:\n%s", series, prom)
+		}
+	}
+	if !strings.Contains(httpGetBody(t, debugBase+"/debug/pprof/cmdline"), "crowdfill-server") {
+		t.Fatalf("pprof cmdline does not name the server binary")
+	}
+	ctlMetrics := ctl("-debug", debugBase, "metrics")
+	if !strings.Contains(ctlMetrics, "crowdfill_bcast_publish_total") {
+		t.Fatalf("ctl metrics output missing publish counter:\n%s", ctlMetrics)
+	}
+	ctlEvents := ctl("-debug", debugBase, "events")
+	if !strings.Contains(ctlEvents, `"total"`) {
+		t.Fatalf("ctl events output missing recorder dump:\n%s", ctlEvents)
+	}
+
 	// Offline audit: fetch the trace, replay it, and check the recomputed
 	// pay matches what the marketplace was told to pay.
 	traceOut := ctl("-id", id, "trace")
@@ -158,6 +193,24 @@ func TestCommandBinariesEndToEnd(t *testing.T) {
 	if !strings.Contains(string(replayOut), "pay statement for w1") {
 		t.Fatalf("replay statement missing:\n%s", replayOut)
 	}
+}
+
+// httpGetBody fetches a URL and returns its body, failing on any error.
+func httpGetBody(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	return string(data)
 }
 
 // waitHTTP polls a URL until it answers.

@@ -29,6 +29,13 @@ import (
 // neverNested lists owner pairs that must not nest in either direction.
 var neverNested = [][2]string{
 	{"bcastLog", "flushQueue"},
+	// The flight recorder's ring lock must not nest with the broadcast
+	// log's either way: drop/evict notes are recorded only after bcastLog.mu
+	// is released (the single-noter teardown discipline), and the recorder
+	// never calls back into the serving plane. Pinned here so a future
+	// "just record it under the lock" shortcut fails the build instead of
+	// putting the recorder's sink I/O on the publish path.
+	{"bcastLog", "Recorder"},
 }
 
 // New returns the lockorder analyzer.

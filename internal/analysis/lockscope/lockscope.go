@@ -59,6 +59,18 @@ var allowedOrder = map[[2]string]bool{
 	// net.Conn writes), so closing a connection while the server lock is
 	// held (register's already-closed branch) cannot invert any order.
 	{"NetServer", "Conn"}: true,
+	// metrics.Recorder.mu is another innermost leaf: the flight recorder's
+	// ring lock. Its critical section is a ring write (the log sink is
+	// invoked only after release), and nothing under it acquires module
+	// locks, so recording an operational event from inside the server's
+	// critical section (e.g. the Central Client's overrun note under
+	// NetServer.mu) cannot invert any order. These pairs sanction ordering,
+	// not blocking — the sink's potential I/O remains subject to the
+	// non-blocking-critical-section check. bcastLog.mu is deliberately NOT
+	// paired with Recorder: drop notes on the broadcast plane must be made
+	// after release (lockorder pins that as a neverNested pair).
+	{"NetServer", "Recorder"}: true,
+	{"Core", "Recorder"}:      true,
 }
 
 // deltaListenerMethods are the model.ProbableDeltaListener callbacks. The

@@ -15,6 +15,7 @@ import (
 	"crowdfill/internal/client"
 	"crowdfill/internal/constraint"
 	"crowdfill/internal/crowd"
+	"crowdfill/internal/metrics"
 	"crowdfill/internal/model"
 	"crowdfill/internal/pay"
 	"crowdfill/internal/server"
@@ -90,6 +91,13 @@ type SimResult struct {
 	Workers       []WorkerReport
 	Alloc         *pay.Allocation
 	Core          *server.Core
+	// Metrics is the run's private registry: every simulated run reports
+	// through the same instrument set as the live server (message-type
+	// counters, repair histograms, estimate-coalescing counters), so
+	// experiment assertions and operational dashboards read the same series.
+	Metrics *metrics.Registry
+	// Recorder is the run's flight recorder (repair overruns, drops).
+	Recorder *metrics.Recorder
 }
 
 // Run executes one simulated collection and computes all reports.
@@ -111,6 +119,13 @@ func Run(cfg SimConfig) (*SimResult, error) {
 	}
 
 	clk := simclock.NewSim(0)
+	// Per-run registry and recorder: run isolation keeps counts exact for
+	// assertions, and the sim exercises the same instrumentation paths as
+	// the live server (the registry holds only atomics, so determinism is
+	// untouched; the recorder's wall timestamps are observability metadata,
+	// not simulation state).
+	reg := metrics.NewRegistry()
+	rec := metrics.NewRecorder(256)
 	core, err := server.New(server.Config{
 		Schema:           cfg.Truth.Schema,
 		Score:            cfg.Score,
@@ -120,6 +135,7 @@ func Run(cfg SimConfig) (*SimResult, error) {
 		MaxVotesPerRow:   cfg.MaxVotesPerRow,
 		Clock:            clk,
 		TrackPerformance: cfg.TrackPerformance,
+		Metrics:          server.NewMetrics(reg, rec),
 	})
 	if err != nil {
 		return nil, err
@@ -266,6 +282,8 @@ func Run(cfg SimConfig) (*SimResult, error) {
 		Done:          core.Done(),
 		CandidateRows: core.Master().Table().Len(),
 		Core:          core,
+		Metrics:       reg,
+		Recorder:      rec,
 	}
 	if doneAt >= 0 {
 		res.Duration = time.Duration(doneAt - core.StartTime())

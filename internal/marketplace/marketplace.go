@@ -14,6 +14,7 @@ import (
 	gosync "sync"
 	"time"
 
+	"crowdfill/internal/metrics"
 	"crowdfill/internal/simclock"
 )
 
@@ -61,6 +62,29 @@ type Marketplace struct {
 	nextW   int
 	ledger  []Payment
 	balance map[string]float64
+	stats   mktStats
+}
+
+// mktStats is the marketplace's slice of the process metrics: HIT lifecycle
+// and payment activity, visible on the same /debug endpoints as the serving
+// plane. Counters and gauges only — the marketplace is simdet-scoped, so it
+// takes no clock or randomness from the instruments.
+type mktStats struct {
+	hits      *metrics.Counter
+	accepts   *metrics.Counter
+	expiries  *metrics.Counter
+	payments  *metrics.Counter
+	totalPaid *metrics.FloatGauge
+}
+
+func newMktStats(r *metrics.Registry) mktStats {
+	return mktStats{
+		hits:      r.Counter("crowdfill_mkt_hits_total", "HITs created"),
+		accepts:   r.Counter("crowdfill_mkt_accepts_total", "task acceptances"),
+		expiries:  r.Counter("crowdfill_mkt_expiries_total", "HITs expired"),
+		payments:  r.Counter("crowdfill_mkt_payments_total", "bonus payments recorded"),
+		totalPaid: r.FloatGauge("crowdfill_mkt_paid_total", "sum of recorded bonus payments"),
+	}
 }
 
 // New returns a marketplace with a pool of n simulated workers. sandbox
@@ -72,6 +96,7 @@ func New(seed int64, poolSize int, sandbox bool) *Marketplace {
 		sandbox: sandbox,
 		hits:    make(map[string]*HIT),
 		balance: make(map[string]float64),
+		stats:   newMktStats(metrics.Default()),
 	}
 	for i := 0; i < poolSize; i++ {
 		m.pool = append(m.pool, fmt.Sprintf("turker-%04d", i+1))
@@ -109,6 +134,7 @@ func (m *Marketplace) CreateHIT(title, externalURL string, maxAssignments int) (
 		Created:        time.Unix(0, m.clock.Now()),
 	}
 	m.hits[h.ID] = h
+	m.stats.hits.Inc()
 	return h, nil
 }
 
@@ -147,6 +173,7 @@ func (m *Marketplace) Accept(hitID string) (string, error) {
 	m.nextW++
 	h.Accepted = append(h.Accepted, w)
 	m.balance[w] += 0 // materialize the worker in the ledger index
+	m.stats.accepts.Inc()
 	return w, nil
 }
 
@@ -159,6 +186,7 @@ func (m *Marketplace) Expire(hitID string) error {
 		return fmt.Errorf("%w: %s", ErrNoSuchHIT, hitID)
 	}
 	h.Expired = true
+	m.stats.expiries.Inc()
 	return nil
 }
 
@@ -185,6 +213,8 @@ func (m *Marketplace) PayBonus(worker string, amount float64, reason string) err
 	}
 	m.ledger = append(m.ledger, Payment{Worker: worker, Amount: amount, Reason: reason})
 	m.balance[worker] += amount
+	m.stats.payments.Inc()
+	m.stats.totalPaid.Add(amount)
 	return nil
 }
 

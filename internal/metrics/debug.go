@@ -1,0 +1,53 @@
+package metrics
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler returns the debug HTTP handler crowdfill-server mounts behind its
+// opt-in -debug-addr listener:
+//
+//	GET /debug/metrics       Prometheus text exposition
+//	GET /debug/metrics.json  JSON Snapshot (with quantile estimates)
+//	GET /debug/events        flight-recorder dump, oldest event first
+//	GET /debug/pprof/...     net/http/pprof (profile, heap, goroutine, ...)
+//
+// nil r or rec fall back to the process-wide Default registry and recorder.
+// The handler is read-only and unauthenticated; the listener is meant for a
+// loopback or otherwise private address.
+func Handler(r *Registry, rec *Recorder) http.Handler {
+	if r == nil {
+		r = Default()
+	}
+	if rec == nil {
+		rec = DefaultRecorder()
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WritePrometheus(w, r)
+	})
+	mux.HandleFunc("/debug/metrics.json", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(r.Snapshot())
+	})
+	mux.HandleFunc("/debug/events", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(struct {
+			Total  uint64  `json:"total"`
+			Events []Event `json:"events"`
+		}{Total: rec.Total(), Events: rec.Events()})
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,111 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// WritePrometheus writes the registry's current state in the Prometheus text
+// exposition format (version 0.0.4): HELP/TYPE headers per base metric name,
+// one sample line per series, histogram buckets as cumulative `le` series
+// with `_sum` and `_count`. Series are sorted by name, so the output is
+// deterministic for a given state — the golden-output tests rely on that.
+func WritePrometheus(w io.Writer, r *Registry) error {
+	s := r.Snapshot()
+	r.mu.Lock()
+	help := make(map[string]string, len(r.help))
+	for name, h := range r.help {
+		base, _ := splitName(name)
+		if _, ok := help[base]; !ok {
+			help[base] = h
+		}
+	}
+	r.mu.Unlock()
+
+	pw := &promWriter{w: w, help: help}
+	for _, c := range s.Counters {
+		pw.header(c.Name, "counter")
+		pw.printf("%s %d\n", c.Name, c.Value)
+	}
+	for _, g := range s.Gauges {
+		pw.header(g.Name, "gauge")
+		pw.printf("%s %d\n", g.Name, g.Value)
+	}
+	for _, g := range s.Floats {
+		pw.header(g.Name, "gauge")
+		pw.printf("%s %g\n", g.Name, g.Value)
+	}
+	for _, h := range s.Histograms {
+		pw.header(h.Name, "histogram")
+		base, labels := splitName(h.Name)
+		var cum uint64
+		for _, b := range h.Buckets {
+			cum += b.Count
+			le := "+Inf"
+			if b.UpperBound != math.MaxInt64 {
+				le = fmt.Sprintf("%d", b.UpperBound)
+			}
+			pw.printf("%s %d\n", seriesName(base+"_bucket", labels, "le", le), cum)
+		}
+		pw.printf("%s %d\n", seriesName(base+"_sum", labels, "", ""), h.Sum)
+		pw.printf("%s %d\n", seriesName(base+"_count", labels, "", ""), h.Count)
+	}
+	return pw.err
+}
+
+type promWriter struct {
+	w        io.Writer
+	help     map[string]string
+	lastBase string
+	err      error
+}
+
+// header emits the HELP/TYPE block once per base name (labeled series of one
+// base name are adjacent in the sorted snapshot).
+func (pw *promWriter) header(name, kind string) {
+	base, _ := splitName(name)
+	if base == pw.lastBase {
+		return
+	}
+	pw.lastBase = base
+	if help := pw.help[base]; help != "" {
+		pw.printf("# HELP %s %s\n", base, help)
+	}
+	pw.printf("# TYPE %s %s\n", base, kind)
+}
+
+func (pw *promWriter) printf(format string, args ...any) {
+	if pw.err != nil {
+		return
+	}
+	_, pw.err = fmt.Fprintf(pw.w, format, args...)
+}
+
+// splitName separates a series name into its base name and label suffix
+// ("x_total{cause=\"lag\"}" → "x_total", `cause="lag"`).
+func splitName(name string) (base, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, ""
+	}
+	return name[:i], strings.TrimSuffix(name[i+1:], "}")
+}
+
+// seriesName assembles a series name from a base, existing labels, and an
+// optional extra label pair.
+func seriesName(base, labels, extraKey, extraVal string) string {
+	if extraKey != "" {
+		pair := extraKey + `="` + extraVal + `"`
+		if labels == "" {
+			labels = pair
+		} else {
+			labels = labels + "," + pair
+		}
+	}
+	if labels == "" {
+		return base
+	}
+	return base + "{" + labels + "}"
+}

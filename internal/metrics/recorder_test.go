@@ -1,0 +1,80 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+	gosync "sync"
+	"testing"
+)
+
+// TestRecorderRing checks order, wraparound, and the total count.
+func TestRecorderRing(t *testing.T) {
+	r := NewRecorder(4)
+	for i := 1; i <= 6; i++ {
+		r.Record(EvSendError, fmt.Sprintf("c%d", i), "boom")
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("len(Events()) = %d, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		wantSeq := uint64(i + 3) // events 3,4,5,6 survive
+		if ev.Seq != wantSeq {
+			t.Errorf("event %d seq = %d, want %d", i, ev.Seq, wantSeq)
+		}
+		if i > 0 && ev.At < evs[i-1].At {
+			t.Errorf("event %d At went backwards", i)
+		}
+	}
+	if r.Total() != 6 {
+		t.Errorf("Total() = %d, want 6", r.Total())
+	}
+}
+
+// TestRecorderSink checks the logf sink receives one line per event, outside
+// the ring lock.
+func TestRecorderSink(t *testing.T) {
+	r := NewRecorder(8)
+	var mu gosync.Mutex
+	var lines []string
+	r.SetLogf(func(format string, args ...any) {
+		mu.Lock()
+		defer mu.Unlock()
+		lines = append(lines, fmt.Sprintf(format, args...))
+	})
+	r.Record(EvEvictLag, "net-00001", "")
+	r.Record(EvRepairOverrun, "cc", "iteration cap hit")
+	mu.Lock()
+	defer mu.Unlock()
+	if len(lines) != 2 {
+		t.Fatalf("sink got %d lines, want 2", len(lines))
+	}
+	if !strings.Contains(lines[0], EvEvictLag) || !strings.Contains(lines[0], "net-00001") {
+		t.Errorf("sink line 0 = %q", lines[0])
+	}
+}
+
+// TestRecorderConcurrent hammers Record and Events under -race.
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder(16)
+	var wg gosync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Record(EvSendError, "c", "x")
+			}
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		_ = r.Events()
+	}
+	wg.Wait()
+	if r.Total() != 2000 {
+		t.Fatalf("Total() = %d, want 2000", r.Total())
+	}
+	if len(r.Events()) != 16 {
+		t.Fatalf("ring kept %d events, want 16", len(r.Events()))
+	}
+}

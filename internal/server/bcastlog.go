@@ -67,6 +67,7 @@ type bcastLog struct {
 	fq       *flushQueue
 	flushers gosync.WaitGroup
 	logf     func(format string, args ...any)
+	metrics  *Metrics // nil disables instrumentation
 }
 
 // Flusher-pool tuning. The budget bounds how many records one flush round
@@ -122,10 +123,11 @@ type flushQueue struct {
 	cond   *gosync.Cond
 	q      []*flushConn
 	closed bool
+	m      *Metrics // depth gauge; pure atomics, safe under q.mu
 }
 
-func newFlushQueue() *flushQueue {
-	q := &flushQueue{}
+func newFlushQueue(m *Metrics) *flushQueue {
+	q := &flushQueue{m: m}
 	q.cond = gosync.NewCond(&q.mu)
 	return q
 }
@@ -142,6 +144,7 @@ func (q *flushQueue) push(fcs ...*flushConn) {
 		return
 	}
 	q.q = append(q.q, fcs...)
+	q.m.queueDelta(len(fcs))
 	if len(fcs) == 1 {
 		q.cond.Signal()
 	} else {
@@ -165,6 +168,7 @@ func (q *flushQueue) pop() (fc *flushConn, ok bool) {
 	fc = q.q[0]
 	q.q[0] = nil
 	q.q = q.q[1:]
+	q.m.queueDelta(-1)
 	return fc, true
 }
 
@@ -194,9 +198,18 @@ var (
 	errCursorStopped = errors.New("server: cursor stopped")
 )
 
-func newBcastLog(capacity int) *bcastLog {
+// newBcastLog builds the broadcast plane with its operational log sink and
+// instrument set fixed at construction. Both may be nil (no-op); taking them
+// here — rather than via a post-construction setter — means the flusher and
+// dispatcher goroutines started below can never observe a half-installed
+// sink (the old setLogf had to be called before the first registration, an
+// ordering the compiler could not check).
+func newBcastLog(capacity int, logf func(string, ...any), m *Metrics) *bcastLog {
 	if capacity < 1 {
 		capacity = 1
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
 	}
 	l := &bcastLog{
 		buf:          make([]bcastRecord, capacity),
@@ -204,8 +217,9 @@ func newBcastLog(capacity int) *bcastLog {
 		notify:       make(chan struct{}, 1),
 		dispatchDone: make(chan struct{}),
 		conns:        make(map[*flushConn]struct{}),
-		fq:           newFlushQueue(),
-		logf:         func(string, ...any) {},
+		fq:           newFlushQueue(m),
+		logf:         logf,
+		metrics:      m,
 	}
 	l.cond = gosync.NewCond(l.mu.RLocker())
 	l.nextEvictScan = uint64(capacity)
@@ -215,14 +229,6 @@ func newBcastLog(capacity int) *bcastLog {
 	}
 	go l.dispatch()
 	return l
-}
-
-// setLogf installs the operational log sink (must be called before any
-// connection registers; NewNetServer does).
-func (l *bcastLog) setLogf(logf func(string, ...any)) {
-	if logf != nil {
-		l.logf = logf
-	}
 }
 
 // dispatch wakes consumers whenever records were published: a cond broadcast
@@ -256,6 +262,7 @@ func (l *bcastLog) dispatch() {
 				l.parked[i] = nil
 			}
 			l.parked = keep
+			l.metrics.poolSized(len(l.conns), len(l.parked))
 		}
 		l.mu.Unlock()
 		l.fq.push(wake...)
@@ -268,6 +275,7 @@ func (l *bcastLog) publish(recs ...bcastRecord) {
 	if len(recs) == 0 {
 		return
 	}
+	start := l.metrics.now()
 	l.mu.Lock()
 	if l.closed {
 		l.mu.Unlock()
@@ -278,6 +286,7 @@ func (l *bcastLog) publish(recs ...bcastRecord) {
 		l.buf[l.head%n] = r
 		l.head++
 	}
+	head := l.head
 	l.evictLagged()
 	// Ring under the lock: close() also holds it to flip closed before
 	// closing the channel, so a send can never hit a closed doorbell.
@@ -286,6 +295,7 @@ func (l *bcastLog) publish(recs ...bcastRecord) {
 	default: // a wakeup is already pending; it covers these records too
 	}
 	l.mu.Unlock()
+	l.metrics.publishDone(start, len(recs), head)
 }
 
 // evictLagged detaches cursors the log has wrapped past, invoking their
@@ -300,6 +310,7 @@ func (l *bcastLog) evictLagged() {
 	}
 	n := uint64(len(l.buf))
 	l.nextEvictScan = l.head + n/2 + 1
+	l.metrics.evictScanned()
 	for c := range l.cursors {
 		if l.head-c.pos > n {
 			c.stopped, c.lagged = true, true
@@ -534,6 +545,7 @@ func (l *bcastLog) register(conn transport.Conn, clientID string, pending []*syn
 	}
 	l.cursors[fc.cur] = struct{}{}
 	l.conns[fc] = struct{}{}
+	l.metrics.poolSized(len(l.conns), len(l.parked))
 	l.mu.Unlock()
 	return fc
 }
@@ -547,19 +559,26 @@ func (l *bcastLog) enqueue(fc *flushConn) {
 // deregister detaches a connection (reader-side teardown). Safe to call
 // after an eviction already detached it; a queued or in-flight connection is
 // released by its flusher when it observes the gone state or the stopped
-// cursor.
-func (l *bcastLog) deregister(fc *flushConn) {
+// cursor. won reports whether this call performed the detach — exactly one
+// caller wins, and the winner owns the structured drop note (the
+// single-noter invariant behind the drop counters). lagged reports whether
+// the cursor had fallen off the log, so the winner can attribute the drop
+// to lag even when it observed only the secondary symptom (a send error on
+// the transport the evictor closed, or a failed reader loop).
+func (l *bcastLog) deregister(fc *flushConn) (won, lagged bool) {
 	l.mu.Lock()
-	l.detachLocked(fc)
+	won = l.detachLocked(fc)
+	lagged = fc.cur.lagged
 	l.mu.Unlock()
+	return won, lagged
 }
 
 // detachLocked moves a connection to the gone state and removes it from the
-// registry, the parked list, and the cursor table. Idempotent; callers hold
-// the write lock.
-func (l *bcastLog) detachLocked(fc *flushConn) {
+// registry, the parked list, and the cursor table. Idempotent — reports
+// whether this call performed the transition; callers hold the write lock.
+func (l *bcastLog) detachLocked(fc *flushConn) bool {
 	if fc.state == fcGone {
-		return
+		return false
 	}
 	if fc.state == fcParked {
 		for i, p := range l.parked {
@@ -577,17 +596,41 @@ func (l *bcastLog) detachLocked(fc *flushConn) {
 		fc.cur.stopped = true
 		delete(l.cursors, fc.cur)
 	}
+	l.metrics.poolSized(len(l.conns), len(l.parked))
+	return true
+}
+
+// noteDrop emits the structured record of one client teardown (or reject):
+// drop counter by cause, flight-recorder event, and — through the recorder's
+// sink, or directly when metrics are off — the one human-readable log line.
+// Exactly one call per connection (the detach winner makes it); callers hold
+// no locks, because the log sink may block.
+func (l *bcastLog) noteDrop(cause dropCause, clientID, detail string) {
+	if l.metrics != nil {
+		l.metrics.noteDrop(cause, clientID, detail)
+		return
+	}
+	l.logf("crowdfill: client %s dropped: %s (%s)", clientID, cause.String(), detail)
 }
 
 // dropConn is the flusher-side eviction: close the transport (failing the
-// connection's reader loop so both halves tear down) and detach. why is
-// logged outside any lock.
-func (l *bcastLog) dropConn(fc *flushConn, why string) {
+// connection's reader loop so both halves tear down), detach, and — if this
+// call won the detach — note the drop. A send error on a cursor the
+// publisher already evicted is re-attributed to lag: the evictor closed the
+// transport, so the write failure is a symptom, not the cause.
+func (l *bcastLog) dropConn(fc *flushConn, cause dropCause, detail string) {
 	fc.conn.Close()
 	l.mu.Lock()
-	l.detachLocked(fc)
+	won := l.detachLocked(fc)
+	lagged := fc.cur.lagged
 	l.mu.Unlock()
-	l.logf("crowdfill: client %s dropped by flusher: %s", fc.id, why)
+	if !won {
+		return
+	}
+	if lagged {
+		cause, detail = dropLag, "cursor lagged behind broadcast log"
+	}
+	l.noteDrop(cause, fc.id, detail)
 }
 
 // flusher is one pool worker: it pulls dirty connections off the queue and
@@ -627,7 +670,7 @@ func (l *bcastLog) flushOne(fc *flushConn, recs []bcastRecord, preps []*sync.Pre
 	n, err := fc.cur.drainBatch(recs)
 	if err != nil {
 		if err == errCursorLagged {
-			l.dropConn(fc, "cursor lagged behind broadcast log")
+			l.dropConn(fc, dropLag, "cursor lagged behind broadcast log")
 		} else {
 			// Stopped or closed: the reader-side teardown (or close) owns
 			// the cleanup; just release ownership.
@@ -646,7 +689,11 @@ func (l *bcastLog) flushOne(fc *flushConn, recs []bcastRecord, preps []*sync.Pre
 		fc.conn.SetWriteDeadline(time.Now().Add(flushWriteDeadline))
 		err := fc.conn.SendPreparedBatch(batch)
 		if err != nil {
-			l.dropConn(fc, "send failed: "+err.Error())
+			cause := dropSendError
+			if transport.IsTimeout(err) {
+				cause = dropWriteDeadline
+			}
+			l.dropConn(fc, cause, err.Error())
 			return batch[:0]
 		}
 	}
@@ -658,15 +705,23 @@ func (l *bcastLog) flushOne(fc *flushConn, recs []bcastRecord, preps []*sync.Pre
 		l.mu.Unlock()
 		return batch[:0]
 	}
-	if fc.cur.pos < l.head {
+	lag := l.head - fc.cur.pos
+	if lag > 0 {
 		fc.state = fcQueued
 		l.mu.Unlock()
+		if len(batch) > 0 {
+			l.metrics.flushDone(len(batch), lag)
+		}
 		l.fq.push(fc)
 		return batch[:0]
 	}
 	fc.state = fcParked
 	l.parked = append(l.parked, fc)
+	l.metrics.poolSized(len(l.conns), len(l.parked))
 	l.mu.Unlock()
+	if len(batch) > 0 {
+		l.metrics.flushDone(len(batch), 0)
+	}
 	return batch[:0]
 }
 

@@ -13,7 +13,7 @@ func testRec(i int) bcastRecord {
 }
 
 func TestBcastLogOrderAndBatching(t *testing.T) {
-	l := newBcastLog(8)
+	l := newBcastLog(8, nil, nil)
 	defer l.close()
 	cur := l.newCursor(nil)
 	for i := 0; i < 6; i++ {
@@ -48,7 +48,7 @@ func TestBcastLogOrderAndBatching(t *testing.T) {
 }
 
 func TestBcastLogStopWakesBlockedReader(t *testing.T) {
-	l := newBcastLog(4)
+	l := newBcastLog(4, nil, nil)
 	defer l.close()
 	cur := l.newCursor(nil)
 	errc := make(chan error, 1)
@@ -69,7 +69,7 @@ func TestBcastLogStopWakesBlockedReader(t *testing.T) {
 }
 
 func TestBcastLogCloseSemantics(t *testing.T) {
-	l := newBcastLog(4)
+	l := newBcastLog(4, nil, nil)
 	cur := l.newCursor(nil)
 	l.publish(testRec(0))
 	l.close()
@@ -88,7 +88,7 @@ func TestBcastLogCloseSemantics(t *testing.T) {
 
 func TestBcastLogConcurrentFollowers(t *testing.T) {
 	const records, followers = 500, 8
-	l := newBcastLog(records + 1) // nobody can lag out
+	l := newBcastLog(records+1, nil, nil) // nobody can lag out
 	defer l.close()
 	type result struct {
 		vals []string

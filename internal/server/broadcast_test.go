@@ -39,7 +39,7 @@ func TestLogDeliveryMatchesDirectOutbound(t *testing.T) {
 		return core
 	}
 	coreA, coreB := mkCore(), mkCore()
-	logB := newBcastLog(defaultLogCapacity)
+	logB := newBcastLog(defaultLogCapacity, nil, nil)
 	defer logB.close()
 
 	payload := func(p *sync.Prepared) []byte {

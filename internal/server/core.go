@@ -58,6 +58,14 @@ type Config struct {
 	// Logf receives operational warnings (e.g. Central Client repair
 	// overruns); nil discards them.
 	Logf func(format string, args ...any)
+	// Metrics is the instrument set the core (and any NetServer wrapping it)
+	// reports into. Nil selects the process-wide set (ProcessMetrics); tests
+	// and simulations pass their own registry-backed set for isolation.
+	Metrics *Metrics
+	// LogCapacity sizes the broadcast log a NetServer builds over this core
+	// (how many records a client may lag before eviction); 0 means
+	// defaultLogCapacity.
+	LogCapacity int
 }
 
 // Outbound is a message the caller must deliver to a client. Prepared, when
@@ -91,6 +99,7 @@ type Core struct {
 	est     *pay.Estimator
 	index   *model.TableIndex // incremental probable/final maintenance
 	logf    func(format string, args ...any)
+	metrics *Metrics
 
 	clients   map[string]string // client id -> worker id
 	joinTime  map[string]int64  // worker -> first join timestamp
@@ -164,6 +173,10 @@ func New(cfg Config) (*Core, error) {
 		logf:     logf,
 		clients:  make(map[string]string),
 		joinTime: make(map[string]int64),
+	}
+	c.metrics = cfg.Metrics
+	if c.metrics == nil {
+		c.metrics = ProcessMetrics()
 	}
 	c.index = model.NewTableIndex(c.master.Table(), score)
 	c.index.SetDebug(cfg.DebugCrossCheck)
@@ -244,6 +257,7 @@ func (c *Core) execAction(a constraint.Action) {
 // Failing to converge within maxRepairIters is counted and logged (it means
 // the PRI may be violated until a later message shakes things loose).
 func (c *Core) runCC() []sync.Message {
+	start := c.metrics.now()
 	before := len(c.ccLog)
 	stable := false
 	for iter := 0; iter < maxRepairIters; iter++ {
@@ -258,10 +272,22 @@ func (c *Core) runCC() []sync.Message {
 	}
 	if !stable {
 		c.repairOverruns++
-		c.logf("crowdfill: central client repair did not converge within %d iterations (overrun #%d)",
-			maxRepairIters, c.repairOverruns)
+		c.noteOverrun()
 	}
+	c.metrics.repairDone(start, len(c.ccLog)-before, c.RepairStats())
 	return c.ccLog[before:]
+}
+
+// noteOverrun reports a repair-iteration-cap overrun: through the metrics
+// set (counter + flight-recorder event, whose sink emits the log line) when
+// instrumentation is live, directly through logf otherwise.
+func (c *Core) noteOverrun() {
+	if c.metrics != nil {
+		c.metrics.noteOverrun("central client repair did not converge")
+		return
+	}
+	c.logf("crowdfill: central client repair did not converge within %d iterations (overrun #%d)",
+		maxRepairIters, c.repairOverruns)
 }
 
 // RepairOverruns returns how many times the Central Client's repair loop hit
@@ -312,6 +338,7 @@ func (c *Core) AddClient(clientID, workerID string) []Outbound {
 		c.joinTime[workerID] = now
 	}
 	c.est.Join(workerID, now)
+	c.metrics.clientCount(len(c.clients))
 	// Snapshots are immutable to receivers (LoadSnapshot deep-copies rows),
 	// so one epoch-tagged Prepared serves every joiner until the table moves
 	// again; a join storm encodes the table once, not once per joiner.
@@ -333,6 +360,7 @@ func (c *Core) AddClient(clientID, workerID string) []Outbound {
 func (c *Core) RemoveClient(clientID string) {
 	delete(c.clients, clientID)
 	c.sortedIDs = nil
+	c.metrics.clientCount(len(c.clients))
 }
 
 // HandleBroadcast processes one message from a client: it stamps it, applies
@@ -365,6 +393,7 @@ func (c *Core) HandleBroadcast(clientID string, m sync.Message) ([]Broadcast, er
 		return nil, err
 	}
 	c.trace = append(c.trace, m)
+	c.metrics.msgHandled(m.Type)
 	// The estimate shown for this action; observed post-apply (the worker
 	// computed theirs against an equally slightly-stale local view).
 	c.est.ObserveIndexed(m)
@@ -429,12 +458,14 @@ func (c *Core) estimateBroadcast() *sync.Prepared {
 	payload, err := p.Payload()
 	if err == nil && c.lastEstPayload != nil &&
 		string(payload) == string(c.lastEstPayload) && c.sinceEstBcast < interval {
+		c.metrics.estimateDecision(false, 0)
 		return nil
 	}
 	if err == nil {
 		c.lastEstPayload = payload
 	}
 	c.sinceEstBcast = 0
+	c.metrics.estimateDecision(true, len(payload))
 	return p
 }
 

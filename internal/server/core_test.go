@@ -480,7 +480,7 @@ func TestNetServerAccessorsAndSlowClient(t *testing.T) {
 	}
 	// Swap in a tiny log so cursor lag triggers quickly.
 	ns.Shutdown()
-	ns.log = newBcastLog(4)
+	ns.log = newBcastLog(4, nil, nil)
 	defer ns.log.close()
 
 	evicted := make(chan struct{})

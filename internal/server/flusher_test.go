@@ -108,7 +108,7 @@ func prepSeq(seq int64) *sync.Prepared {
 // (byte-level frame identity of a batch vs K individual sends is proven in
 // wsock's TestWritePreparedBatchBytesIdentical).
 func TestFlusherCoalescesBurst(t *testing.T) {
-	l := newBcastLog(64)
+	l := newBcastLog(64, nil, nil)
 	defer l.close()
 	rc := newRecConn()
 	fc := l.register(rc, "self", nil, nil)
@@ -147,7 +147,7 @@ func TestFlusherCoalescesBurst(t *testing.T) {
 // many flush rounds — the concatenation of delivered batches is exactly the
 // publish sequence, no gaps, no duplicates, no reordering.
 func TestFlusherPoolOrdering(t *testing.T) {
-	l := newBcastLog(4096)
+	l := newBcastLog(4096, nil, nil)
 	defer l.close()
 	rc := newRecConn()
 	fc := l.register(rc, "c1", nil, nil)
@@ -189,7 +189,7 @@ func TestFlusherPoolOrdering(t *testing.T) {
 // drainBatch — not the publishing side's evictor — that detects the lag and
 // drops the connection (closing the transport so the reader half fails too).
 func TestFlusherDetectsLagAndDrops(t *testing.T) {
-	l := newBcastLog(8) // first publisher lag scan at head 8, next at 13
+	l := newBcastLog(8, nil, nil) // first publisher lag scan at head 8, next at 13
 	defer l.close()
 	rc := newRecConn()
 	gate := make(chan struct{})

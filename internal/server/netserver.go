@@ -34,13 +34,23 @@ type NetServer struct {
 }
 
 // NewNetServer wraps a Core for network serving. logf may be nil to discard
-// logs.
+// logs. The broadcast log inherits the core's instrument set and log
+// capacity (Config.Metrics / Config.LogCapacity), and logf becomes the
+// flight recorder's sink, so every structured drop event also emits one
+// human-readable line.
 func NewNetServer(core *Core, logf func(string, ...any)) *NetServer {
-	if logf == nil {
+	if logf != nil {
+		if rec := core.metrics.Recorder(); rec != nil {
+			rec.SetLogf(logf)
+		}
+	} else {
 		logf = func(string, ...any) {}
 	}
-	blog := newBcastLog(defaultLogCapacity)
-	blog.setLogf(logf)
+	capacity := core.cfg.LogCapacity
+	if capacity <= 0 {
+		capacity = defaultLogCapacity
+	}
+	blog := newBcastLog(capacity, logf, core.metrics)
 	return &NetServer{core: core, log: blog, logf: logf}
 }
 
@@ -56,6 +66,9 @@ func (s *NetServer) Handler() http.Handler {
 		ws, err := wsock.Upgrade(w, r)
 		if err != nil {
 			return // Upgrade already wrote the HTTP error
+		}
+		if stats := s.core.metrics.WireStats(); stats != nil {
+			ws.SetStats(stats)
 		}
 		go s.serve(transport.WrapWS(ws), worker)
 	})
@@ -89,8 +102,8 @@ func (s *NetServer) serve(conn transport.Conn, worker string) {
 		// Eviction hook (publisher side, own goroutine): closing the
 		// transport unblocks a flusher stuck mid-send and fails the reader's
 		// Recv, so both halves tear down even though the slow client never
-		// drains another byte.
-		s.logf("crowdfill: client %s lagged behind broadcast log, dropping connection", clientID)
+		// drains another byte. No log/metric here — whichever teardown path
+		// wins the detach notes the drop, attributed to lag via the cursor.
 		conn.Close()
 	})
 	s.mu.Unlock()
@@ -104,15 +117,32 @@ func (s *NetServer) serve(conn transport.Conn, worker string) {
 			break
 		}
 		if herr := s.handleAndPublish(clientID, m); herr != nil {
-			s.logf("crowdfill: client %s message rejected: %v", clientID, herr)
+			s.noteReject(clientID, herr)
 		}
 	}
 
 	s.mu.Lock()
 	s.core.RemoveClient(clientID)
 	s.mu.Unlock()
-	s.log.deregister(fc)
+	// A normal disconnect is not a drop; but if this teardown wins the
+	// detach on an evicted cursor (the flusher never touched it again after
+	// the evictor closed the transport), the lag drop is noted here.
+	if won, lagged := s.log.deregister(fc); won && lagged {
+		s.log.noteDrop(dropLag, clientID, "cursor lagged behind broadcast log")
+	}
 	conn.Close()
+}
+
+// noteReject records one rejected inbound message: reject counter,
+// flight-recorder event (whose sink logs the line), or plain logf when
+// instrumentation is off. Rejects share the drop-cause funnel but are not
+// teardowns — the connection stays up.
+func (s *NetServer) noteReject(clientID string, herr error) {
+	if m := s.core.metrics; m != nil {
+		m.noteDrop(dropReject, clientID, herr.Error())
+		return
+	}
+	s.logf("crowdfill: client %s message rejected: %v", clientID, herr)
 }
 
 // handleAndPublish runs one inbound message through the core and publishes
@@ -121,7 +151,7 @@ func (s *NetServer) serve(conn transport.Conn, worker string) {
 func (s *NetServer) handleAndPublish(clientID string, m sync.Message) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	bcasts, err := s.core.HandleBroadcast(clientID, m) //lint:allow lockscope runCC's overrun logf is a cold diagnostic on the non-convergence path; the transition itself is non-blocking
+	bcasts, err := s.core.HandleBroadcast(clientID, m)
 	if err != nil {
 		return err
 	}

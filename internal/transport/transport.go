@@ -6,6 +6,7 @@ package transport
 
 import (
 	"errors"
+	"net"
 	gosync "sync"
 	"time"
 
@@ -52,6 +53,19 @@ var ErrPipeClosed = errors.New("transport: pipe closed")
 
 // ErrWriteTimeout is returned by a pipe send that hit its write deadline.
 var ErrWriteTimeout = errors.New("transport: write deadline exceeded")
+
+// IsTimeout reports whether a send error means the write deadline expired —
+// across both transports (the pipe's ErrWriteTimeout sentinel and the
+// net.Error timeout a deadline'd socket write returns). The flusher pool
+// uses it to label the drop cause: a deadline hit is a stalled socket, a
+// plain send error is a broken one.
+func IsTimeout(err error) bool {
+	if errors.Is(err, ErrWriteTimeout) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
 
 // pipeShared is the closure state both ends of a pipe share: closing either
 // end closes the link exactly once.

@@ -54,6 +54,9 @@ func (c *Conn) WritePrepared(f *PreparedFrame) error {
 		return ErrClosed
 	}
 	_, err := c.nc.Write(f.frame)
+	if err == nil {
+		c.countWrite(1, len(f.frame))
+	}
 	return err
 }
 
@@ -92,5 +95,8 @@ func (c *Conn) WritePreparedBatch(frames []*PreparedFrame) error {
 	}
 	c.wbuf = buf // retain grown capacity for the next batch
 	_, err := c.nc.Write(buf)
+	if err == nil {
+		c.countWrite(len(frames), len(buf))
+	}
 	return err
 }

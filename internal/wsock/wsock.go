@@ -68,6 +68,12 @@ type Conn struct {
 	// 4-byte frame mask without a syscall per frame.
 	maskPool  [256]byte
 	maskAvail int
+
+	// stats, when non-nil, receives wire-level metrics; statShard is this
+	// connection's stable shard index (see stats.go). Set before traffic,
+	// read by both the reader goroutine and writers.
+	stats     *Stats
+	statShard uint32
 }
 
 // AcceptKey computes the Sec-WebSocket-Accept value for a handshake key.
@@ -219,6 +225,9 @@ func (c *Conn) writeFrame(opcode byte, p []byte) error {
 	}
 	c.wbuf = buf // retain grown capacity for the next frame
 	_, err = c.nc.Write(buf)
+	if err == nil {
+		c.countWrite(1, len(buf))
+	}
 	return err
 }
 
@@ -273,6 +282,7 @@ func (c *Conn) nextMask() ([4]byte, error) {
 			return m, fmt.Errorf("wsock: mask: %w", err) //lint:allow hotalloc crypto-rand failure is fatal connection teardown
 		}
 		c.maskAvail = len(c.maskPool)
+		c.countMaskRefill()
 	}
 	copy(m[:], c.maskPool[len(c.maskPool)-c.maskAvail:])
 	c.maskAvail -= 4
@@ -313,6 +323,7 @@ func (c *Conn) ReadTextLease() ([]byte, error) {
 				return nil, errors.New("wsock: new text frame during fragmented message")
 			}
 			if fin {
+				c.countLease()
 				return c.rbuf, nil
 			}
 			assembling = true
@@ -321,6 +332,7 @@ func (c *Conn) ReadTextLease() ([]byte, error) {
 				return nil, errors.New("wsock: continuation without start")
 			}
 			if fin {
+				c.countLease()
 				return c.rbuf, nil
 			}
 		case opBinary:
@@ -365,6 +377,7 @@ func (c *Conn) TryReadTextLease() (payload []byte, ok bool, err error) {
 			if _, _, err := c.readFrameInto(); err != nil {
 				return nil, false, err
 			}
+			c.countLease()
 			return c.rbuf, true, nil
 		case opcode == opPing, opcode == opPong, opcode == opClose:
 			if _, _, err := c.readFrameInto(); err != nil {
@@ -474,17 +487,20 @@ func (c *Conn) readFrameInto() (opcode byte, fin bool, err error) {
 	opcode = h0 & 0x0F
 	masked := h1&0x80 != 0
 	length := uint64(h1 & 0x7F)
+	hdrBytes := 2
 	switch length {
 	case 126:
 		if _, err = io.ReadFull(c.br, c.scratch[:2]); err != nil {
 			return 0, false, err
 		}
 		length = uint64(binary.BigEndian.Uint16(c.scratch[:2]))
+		hdrBytes += 2
 	case 127:
 		if _, err = io.ReadFull(c.br, c.scratch[:8]); err != nil {
 			return 0, false, err
 		}
 		length = binary.BigEndian.Uint64(c.scratch[:8])
+		hdrBytes += 8
 	}
 	if length > maxFrame {
 		return 0, false, fmt.Errorf("wsock: frame of %d bytes exceeds limit", length)
@@ -495,13 +511,20 @@ func (c *Conn) readFrameInto() (opcode byte, fin bool, err error) {
 			return 0, false, err
 		}
 		copy(mask[:], c.scratch[:4])
+		hdrBytes += 4
 	}
 	var payload []byte
 	if opcode >= opClose {
+		if cap(c.cbuf) < int(length) {
+			c.countBufGrow()
+		}
 		c.cbuf = growLen(c.cbuf[:0], int(length))
 		payload = c.cbuf
 	} else {
 		start := len(c.rbuf)
+		if cap(c.rbuf)-start < int(length) {
+			c.countBufGrow()
+		}
 		c.rbuf = growLen(c.rbuf, int(length))
 		payload = c.rbuf[start:]
 	}
@@ -513,6 +536,7 @@ func (c *Conn) readFrameInto() (opcode byte, fin bool, err error) {
 			payload[i] ^= mask[i%4]
 		}
 	}
+	c.countRead(hdrBytes + int(length))
 	return opcode, fin, nil
 }
 

@@ -7,7 +7,10 @@
 # BENCH_planner.json (PRI repair cost per message, full-rebuild spec vs
 # delta-driven incremental, across probable-set and template sizes), and
 # BENCH_conns.json (connection-scale envelope: goroutines/conn, bytes/conn,
-# and publish p50/p99 with 1k-10k mostly-idle connections attached).
+# and publish p50/p99 with 1k-10k mostly-idle connections attached), and
+# BENCH_metrics.json (observability overhead: the same e2e latency benchmark
+# with the metrics plane disabled vs enabled, one process per arm because
+# CROWDFILL_METRICS is read once at process start).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -16,12 +19,15 @@ EOUT=BENCH_e2e.json
 BOUT=BENCH_broadcast.json
 POUT=BENCH_planner.json
 COUT=BENCH_conns.json
+MOUT=BENCH_metrics.json
 RAW=$(mktemp)
 ERAW=$(mktemp)
 BRAW=$(mktemp)
 PRAW=$(mktemp)
 CRAW=$(mktemp)
-trap 'rm -f "$RAW" "$ERAW" "$BRAW" "$PRAW" "$CRAW"' EXIT
+MRAWOFF=$(mktemp)
+MRAWON=$(mktemp)
+trap 'rm -f "$RAW" "$ERAW" "$BRAW" "$PRAW" "$CRAW" "$MRAWOFF" "$MRAWON"' EXIT
 
 echo "== server fan-out =="
 go test -run '^$' -bench 'BenchmarkAblationServerFanout' -benchmem -benchtime "${FANOUT_BENCHTIME:-10x}" . | tee "$RAW"
@@ -31,6 +37,12 @@ echo "== end-to-end fan-out latency (loopback WebSockets) =="
 # run to run from scheduler and GC warmup, so the committed artifact records
 # the noise floor — the number a code regression actually moves.
 go test -run '^$' -bench 'BenchmarkFanoutLatency' -benchmem -benchtime "${E2E_BENCHTIME:-500x}" -count "${E2E_COUNT:-3}" . | tee "$ERAW"
+
+echo "== metrics overhead (CROWDFILL_METRICS off vs on) =="
+# One client count is enough to price the instrumentation; the off arm must
+# be a separate process because ProcessMetrics latches the env var once.
+CROWDFILL_METRICS=off go test -run '^$' -bench 'BenchmarkFanoutLatency/clients=8' -benchmem -benchtime "${METRICS_BENCHTIME:-500x}" -count "${METRICS_COUNT:-3}" . | tee "$MRAWOFF"
+CROWDFILL_METRICS=on go test -run '^$' -bench 'BenchmarkFanoutLatency/clients=8' -benchmem -benchtime "${METRICS_BENCHTIME:-500x}" -count "${METRICS_COUNT:-3}" . | tee "$MRAWON"
 
 echo "== broadcast handle+publish =="
 go test -run '^$' -bench 'BenchmarkBroadcastHandlePublish' -benchmem -benchtime "${BROADCAST_BENCHTIME:-10000x}" ./internal/server/ | tee "$BRAW"
@@ -158,3 +170,42 @@ BEGIN { printf "[\n" }
 END   { printf "\n]\n" }
 ' "$CRAW" > "$COUT"
 echo "wrote $COUT"
+
+# Metrics-overhead arms: same per-unit parsing and per-metric minimum across
+# -count repetitions as the e2e artifact, one object per arm.
+mextract() {
+    awk -v arm="$2" '
+$1 ~ "^BenchmarkFanoutLatency/" {
+    ns = allocs = p50 = p95 = p99 = ""
+    for (i = 3; i < NF; i++) {
+        if ($(i+1) == "ns/op") ns = $i
+        if ($(i+1) == "allocs/op") allocs = $i
+        if ($(i+1) == "p50-ns") p50 = $i
+        if ($(i+1) == "p95-ns") p95 = $i
+        if ($(i+1) == "p99-ns") p99 = $i
+    }
+    if (!seen) {
+        seen = 1
+        mns = ns; mal = allocs; m50 = p50; m95 = p95; m99 = p99
+        next
+    }
+    if (ns != "" && ns + 0 < mns + 0) mns = ns
+    if (allocs != "" && allocs + 0 < mal + 0) mal = allocs
+    if (p50 != "" && p50 + 0 < m50 + 0) m50 = p50
+    if (p95 != "" && p95 + 0 < m95 + 0) m95 = p95
+    if (p99 != "" && p99 + 0 < m99 + 0) m99 = p99
+}
+function val(v) { return v == "" ? "null" : v }
+END {
+    printf "  {\"metrics\": \"%s\", \"clients\": 8, \"ns_per_op\": %s, \"allocs_per_op\": %s, \"p50_ns\": %s, \"p95_ns\": %s, \"p99_ns\": %s}", arm, val(mns), val(mal), val(m50), val(m95), val(m99)
+}
+' "$1"
+}
+{
+    printf "[\n"
+    mextract "$MRAWOFF" off
+    printf ",\n"
+    mextract "$MRAWON" on
+    printf "\n]\n"
+} > "$MOUT"
+echo "wrote $MOUT"

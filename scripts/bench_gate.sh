@@ -10,10 +10,16 @@
 #
 # With no baseline argument the committed version is read via git show.
 # Tolerances (integer percent) come from the environment:
-#   P99_TOL        e2e p99 latency tolerance, default 20
-#   ALLOC_TOL      e2e allocs/op tolerance, default 20
-#   CONNS_P99_TOL  conn-scale publish p99 tolerance, default P99_TOL
-#   CONNS_MEM_TOL  bytes/conn and goroutines/conn tolerance, default 20
+#   P99_TOL            e2e p99 latency tolerance, default 20
+#   ALLOC_TOL          e2e allocs/op tolerance, default 20
+#   CONNS_P99_TOL      conn-scale publish p99 tolerance, default P99_TOL
+#   CONNS_MEM_TOL      bytes/conn and goroutines/conn tolerance, default 20
+#   METRICS_P99_TOL    metrics-on p99 overhead over metrics-off, default 25
+#   METRICS_ALLOC_DELTA  allocs/op the metrics plane may add, default 1
+#
+# The metrics-overhead gate is self-contained: it compares the off and on
+# arms inside the fresh BENCH_metrics.json (no git baseline), holding the
+# instrumentation to its allocation-free claim.
 # Latency is wall-clock and noisy on shared runners; allocation counts and
 # per-connection footprint are deterministic. CI relaxes the latency
 # tolerances and keeps the deterministic ones tight.
@@ -27,6 +33,8 @@ P99_TOL=${P99_TOL:-20}
 ALLOC_TOL=${ALLOC_TOL:-20}
 CONNS_P99_TOL=${CONNS_P99_TOL:-$P99_TOL}
 CONNS_MEM_TOL=${CONNS_MEM_TOL:-20}
+METRICS_P99_TOL=${METRICS_P99_TOL:-25}
+METRICS_ALLOC_DELTA=${METRICS_ALLOC_DELTA:-1}
 
 [ -f "$NEW" ] || { echo "bench_gate: $NEW not found (run scripts/bench.sh first)" >&2; exit 1; }
 
@@ -82,18 +90,18 @@ END { exit bad }
 # benchmark skips below the needed fd limit) and a baseline is committed;
 # an explicit positional NEW/BASE pair gates the e2e file only.
 [ -n "${2:-}" ] && exit 0
+conns_rows=1
 CNEW=BENCH_conns.json
 [ -f "$CNEW" ] && grep -q '"conns"' "$CNEW" || {
     echo "bench_gate: no fresh $CNEW rows; skipping connection-scale gate"
-    exit 0
+    conns_rows=
 }
+if [ -n "$conns_rows" ]; then
 CBASETMP=$(mktemp)
 trap 'rm -f "$CBASETMP" ${BASETMP:-}' EXIT
 if ! git show "HEAD:$CNEW" > "$CBASETMP" 2>/dev/null || ! grep -q '"conns"' "$CBASETMP"; then
     echo "bench_gate: no committed $CNEW baseline at HEAD; nothing to gate against"
-    exit 0
-fi
-
+else
 awk -v p99tol="$CONNS_P99_TOL" -v memtol="$CONNS_MEM_TOL" '
 function field(line, key,    rest) {
     rest = line
@@ -127,3 +135,43 @@ function gate(name, c, got, base, tol,    lim) {
 }
 END { exit bad }
 ' "$CBASETMP" "$CNEW"
+fi
+fi
+
+# Metrics-overhead gate: off vs on arms of the same run. The allocation
+# delta is the hard invariant (the hot path is allocation-free by design);
+# the p99 ratio catches a pathologically expensive instrument.
+MNEW=BENCH_metrics.json
+if [ ! -f "$MNEW" ] || ! grep -q '"metrics"' "$MNEW"; then
+    echo "bench_gate: no fresh $MNEW rows; skipping metrics-overhead gate"
+    exit 0
+fi
+awk -v p99tol="$METRICS_P99_TOL" -v allocdelta="$METRICS_ALLOC_DELTA" '
+function field(line, key,    rest) {
+    rest = line
+    if (!match(rest, "\"" key "\": *[0-9.eE+-]+")) return ""
+    rest = substr(rest, RSTART, RLENGTH)
+    sub("\"" key "\": *", "", rest)
+    return rest
+}
+/"metrics": "off"/ { offp99 = field($0, "p99_ns"); offalloc = field($0, "allocs_per_op") }
+/"metrics": "on"/  { onp99  = field($0, "p99_ns"); onalloc  = field($0, "allocs_per_op") }
+END {
+    if (offp99 == "" || onp99 == "") { print "bench_gate: metrics arms incomplete; skipping"; exit 0 }
+    lim = offalloc + allocdelta
+    if (onalloc + 0 > lim) {
+        printf "bench_gate: FAIL metrics-on allocs/op %.0f > off %.0f + %d\n", onalloc, offalloc, allocdelta
+        bad = 1
+    } else {
+        printf "bench_gate: ok   metrics-on allocs/op %.0f (off %.0f, +%d limit %.0f)\n", onalloc, offalloc, allocdelta, lim
+    }
+    lim = offp99 * (1 + p99tol / 100.0)
+    if (onp99 + 0 > lim) {
+        printf "bench_gate: FAIL metrics-on p99 %.0fns > off %.0fns +%d%%\n", onp99, offp99, p99tol
+        bad = 1
+    } else {
+        printf "bench_gate: ok   metrics-on p99 %.0fns (off %.0fns, +%d%% limit %.0fns)\n", onp99, offp99, p99tol, lim
+    }
+    exit bad
+}
+' "$MNEW"
