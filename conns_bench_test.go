@@ -17,6 +17,7 @@ import (
 
 	"crowdfill/internal/client"
 	"crowdfill/internal/model"
+	"crowdfill/internal/netpoll"
 	csync "crowdfill/internal/sync"
 	"crowdfill/internal/wsock"
 )
@@ -25,9 +26,10 @@ import (
 // mostly-idle loopback WebSocket connections (the flaky, watching crowd)
 // plus a 1% active publisher mix toggling votes. Reported per sub-benchmark:
 //
-//	goroutines/conn  server-side goroutine cost per idle connection — with
-//	                 the flusher pool this is the reader loop only (~1),
-//	                 never a per-connection writer
+//	goroutines/conn  server-side goroutine cost per idle connection — ~0
+//	                 on platforms with the readiness poller (reads are
+//	                 dispatched by a fixed worker pool, writes by the
+//	                 flusher pool), ~1 (the blocking reader loop) elsewhere
 //	bytes/conn       server heap+stack bytes per idle connection
 //	p50-ns, p99-ns   publish→deliver latency at an active observer while
 //	                 every broadcast fans out to all N connections
@@ -36,9 +38,13 @@ import (
 // ends of 10k TCP pairs: the idle herd's client sides live in a child
 // process (the test binary re-executed, see TestMain), which also keeps the
 // herd's drain goroutines and socket buffers out of this process's
-// goroutine and memory deltas — the numbers are server-side cost only.
+// goroutine and memory deltas — the numbers are server-side cost only. The
+// ladder's upper rungs need more descriptors than that cap allows — 19000 is
+// the largest rung that fits (herd + active pairs + listener under 20000 in
+// the server process); 20000 and 50000 skip here and run where the limit is
+// raisable, producing artifact rows only on such hosts.
 func BenchmarkConnScale(b *testing.B) {
-	for _, n := range []int{1000, 5000, 10000} {
+	for _, n := range []int{1000, 5000, 10000, 19000, 20000, 50000} {
 		b.Run(fmt.Sprintf("conns=%d", n), func(b *testing.B) {
 			benchConnScale(b, n)
 		})
@@ -274,10 +280,17 @@ func benchConnScale(b *testing.B, n int) {
 	stack := int64(m1.StackInuse) - int64(m0.StackInuse)
 	bytesPerConn := float64(heap+stack) / float64(n)
 
-	// Sanity, not just telemetry: the pool invariant is no per-connection
-	// writer goroutine — at most the reader loop per conn plus O(pool) slack.
-	if goroutinesPerConn > 1.5 {
-		b.Fatalf("goroutines/conn = %.2f; per-connection writer goroutines are back", goroutinesPerConn)
+	// Sanity, not just telemetry. With the readiness poller the invariant is
+	// zero per-connection goroutines — readers and writers are both fixed
+	// pools — with a small absolute allowance for transient runtime
+	// goroutines. On fallback platforms it is the blocking reader loop only,
+	// never a per-connection writer.
+	limit := 1.5
+	if netpoll.OSSupported() {
+		limit = 0.05
+	}
+	if goroutinesPerConn > limit {
+		b.Fatalf("goroutines/conn = %.3f > %.2f; per-connection goroutines are back", goroutinesPerConn, limit)
 	}
 
 	// Publish ops: publishers rotate; the next publisher in the rotation is

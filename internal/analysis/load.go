@@ -4,11 +4,13 @@ import (
 	"fmt"
 	"go/ast"
 	"go/build"
+	"go/build/constraint"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -176,9 +178,15 @@ func (l *Loader) load(dir, path string, withTests bool) (*Package, error) {
 	sort.Strings(testNames)
 	var files []*ast.File
 	for _, name := range names {
+		if !fileNameIncluded(name) {
+			continue
+		}
 		f, perr := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
 		if perr != nil {
 			return nil, fmt.Errorf("analysis: parse %s: %w", name, perr)
+		}
+		if !fileConstraintIncluded(f) {
+			continue
 		}
 		files = append(files, f)
 	}
@@ -188,12 +196,18 @@ func (l *Loader) load(dir, path string, withTests bool) (*Package, error) {
 	pkgName := files[0].Name.Name
 	nTests := 0
 	for _, name := range testNames {
+		if !fileNameIncluded(name) {
+			continue
+		}
 		f, perr := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
 		if perr != nil {
 			return nil, fmt.Errorf("analysis: parse %s: %w", name, perr)
 		}
 		if f.Name.Name != pkgName {
 			continue // external test package (foo_test): separate package, skipped
+		}
+		if !fileConstraintIncluded(f) {
+			continue
 		}
 		files = append(files, f)
 		nTests++
@@ -221,6 +235,88 @@ func (l *Loader) load(dir, path string, withTests bool) (*Package, error) {
 	p := &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, TypesInfo: info}
 	l.cache[key] = p
 	return p, nil
+}
+
+// unixGOOS mirrors the GOOS set the "unix" build tag matches; the analyzers
+// run on the host platform, so constraint evaluation follows runtime.GOOS.
+var unixGOOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "hurd": true, "illumos": true, "ios": true,
+	"linux": true, "netbsd": true, "openbsd": true, "solaris": true,
+}
+
+// buildTagMatches evaluates one build tag against the host platform: GOOS,
+// GOARCH, the "unix" umbrella tag, and go1.* release tags (always satisfied
+// — the toolchain running the analyzers is at least as new as anything the
+// module requires). Unknown tags are unsatisfied.
+func buildTagMatches(tag string) bool {
+	switch {
+	case tag == runtime.GOOS || tag == runtime.GOARCH:
+		return true
+	case tag == "unix":
+		return unixGOOS[runtime.GOOS]
+	case strings.HasPrefix(tag, "go1"):
+		return true
+	}
+	return false
+}
+
+// fileNameIncluded applies filename-based platform constraints (_GOOS.go /
+// _GOARCH.go suffixes), so the loader sees the same file set cmd/go builds:
+// platform-split files would otherwise collide as duplicate declarations.
+func fileNameIncluded(name string) bool {
+	base := strings.TrimSuffix(strings.TrimSuffix(name, ".go"), "_test")
+	parts := strings.Split(base, "_")
+	// Per cmd/go, a leading segment is never a constraint ("linux.go" is
+	// unconstrained); check the last one or two underscore segments.
+	if len(parts) >= 2 {
+		last := parts[len(parts)-1]
+		if knownGOARCH[last] {
+			if len(parts) >= 3 && knownGOOS[parts[len(parts)-2]] {
+				return parts[len(parts)-2] == runtime.GOOS && last == runtime.GOARCH
+			}
+			return last == runtime.GOARCH
+		}
+		if knownGOOS[last] {
+			return last == runtime.GOOS
+		}
+	}
+	return true
+}
+
+var knownGOOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "hurd": true, "illumos": true, "ios": true, "js": true,
+	"linux": true, "netbsd": true, "openbsd": true, "plan9": true,
+	"solaris": true, "wasip1": true, "windows": true,
+}
+
+var knownGOARCH = map[string]bool{
+	"386": true, "amd64": true, "arm": true, "arm64": true, "loong64": true,
+	"mips": true, "mips64": true, "mips64le": true, "mipsle": true,
+	"ppc64": true, "ppc64le": true, "riscv64": true, "s390x": true,
+	"wasm": true,
+}
+
+// fileConstraintIncluded evaluates the file's //go:build line (if any)
+// against the host platform. Files without one are always included.
+func fileConstraintIncluded(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				return true // malformed line: let the real build complain
+			}
+			return expr.Eval(buildTagMatches)
+		}
+	}
+	return true
 }
 
 // ModulePackages walks the module tree and returns the import paths of every

@@ -36,6 +36,12 @@ var neverNested = [][2]string{
 	// "just record it under the lock" shortcut fails the build instead of
 	// putting the recorder's sink I/O on the publish path.
 	{"bcastLog", "Recorder"},
+	// The readiness poller mirrors the flusher pool's discipline: the
+	// waiter resolves ready tokens under Poller.mu, releases it, then
+	// pushes to the dispatch queue; workers claim under the queue lock and
+	// run handlers after releasing it. Pinning the pair keeps epoll-side
+	// bookkeeping and dispatch parking from ever nesting.
+	{"Poller", "pollQueue"},
 }
 
 // New returns the lockorder analyzer.

@@ -44,6 +44,12 @@ var guardedOwners = map[string]bool{
 	"Core":       true,
 	"Replica":    true,
 	"flushQueue": true,
+	// The readiness read plane (PR 10): the poller's descriptor-table lock
+	// and its dispatch queue follow the same collect-then-push discipline
+	// as the flusher pool — critical sections are map/slice operations
+	// only, epoll_ctl and handler dispatch happen outside them.
+	"Poller":    true,
+	"pollQueue": true,
 }
 
 // allowedOrder lists the sanctioned nested-acquisition pairs: outer → inner.

@@ -64,6 +64,7 @@ func (c *recConn) SendPreparedBatch(ps []*sync.Prepared) error {
 }
 
 func (c *recConn) SetWriteDeadline(time.Time) error { return nil }
+func (c *recConn) SetReadDeadline(time.Time) error  { return nil }
 
 func (c *recConn) Recv() (sync.Message, error) {
 	<-c.done

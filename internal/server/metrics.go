@@ -99,6 +99,14 @@ type Metrics struct {
 	overruns    *metrics.Counter // repair loops that hit the iteration cap
 	clients     *metrics.Gauge   // registered core clients
 
+	// Readiness read plane (netpoll). The exported Poll* observe methods
+	// implement netpoll.Stats.
+	pollConns      *metrics.Gauge     // descriptors registered with the poller
+	pollWakeups    *metrics.Counter   // epoll_wait returns with ready connections
+	pollReadyBatch *metrics.Histogram // ready connections per wakeup
+	pollQueueDepth *metrics.Gauge     // readiness dispatch-queue depth
+	pollDispatches *metrics.Counter   // handler dispatches to poll workers
+
 	// Estimator broadcast coalescing.
 	estBcasts  *metrics.Counter
 	estSkipped *metrics.Counter
@@ -135,6 +143,12 @@ func NewMetrics(reg *metrics.Registry, rec *metrics.Recorder) *Metrics {
 		removals:    reg.Gauge("crowdfill_repair_removals", "template rows dropped (RepairStats.Removals)"),
 		overruns:    reg.Counter("crowdfill_repair_overruns_total", "repair loops that hit the iteration cap"),
 		clients:     reg.Gauge("crowdfill_core_clients", "registered clients"),
+
+		pollConns:      reg.Gauge("crowdfill_poll_conns", "connections registered with the readiness poller"),
+		pollWakeups:    reg.Counter("crowdfill_poll_wakeups_total", "poller wakeups that delivered ready connections"),
+		pollReadyBatch: reg.Histogram("crowdfill_poll_ready_batch", "ready connections per poller wakeup", metrics.CountBuckets),
+		pollQueueDepth: reg.Gauge("crowdfill_poll_queue_depth", "ready connections waiting for a poll worker"),
+		pollDispatches: reg.Counter("crowdfill_poll_dispatch_total", "readiness handler dispatches to poll workers"),
 
 		estBcasts:  reg.Counter("crowdfill_estimate_bcasts_total", "estimate broadcasts sent"),
 		estSkipped: reg.Counter("crowdfill_estimate_skipped_total", "estimate broadcasts suppressed (payload unchanged)"),
@@ -265,6 +279,49 @@ func (m *Metrics) evictScanned() {
 		return
 	}
 	m.evictScans.Inc()
+}
+
+// PollRegistered records the poller's registered-descriptor count; part of
+// the netpoll.Stats implementation.
+//
+//lint:hotpath
+func (m *Metrics) PollRegistered(n int) {
+	if m == nil {
+		return
+	}
+	m.pollConns.Set(int64(n))
+}
+
+// PollWakeup records one poller wakeup that delivered ready readiness
+// events for ready connections.
+//
+//lint:hotpath
+func (m *Metrics) PollWakeup(ready int) {
+	if m == nil {
+		return
+	}
+	m.pollWakeups.Inc()
+	m.pollReadyBatch.Observe(int64(ready))
+}
+
+// PollQueueDelta adjusts the readiness dispatch-queue depth gauge.
+//
+//lint:hotpath
+func (m *Metrics) PollQueueDelta(d int) {
+	if m == nil {
+		return
+	}
+	m.pollQueueDepth.Add(int64(d))
+}
+
+// PollDispatch counts one readiness handler dispatch to a poll worker.
+//
+//lint:hotpath
+func (m *Metrics) PollDispatch() {
+	if m == nil {
+		return
+	}
+	m.pollDispatches.Inc()
 }
 
 // msgHandled counts one successfully handled message by type.

@@ -7,6 +7,7 @@ import (
 	gosync "sync"
 	"sync/atomic"
 
+	"crowdfill/internal/netpoll"
 	"crowdfill/internal/sync"
 	"crowdfill/internal/transport"
 	"crowdfill/internal/wsock"
@@ -31,6 +32,12 @@ type NetServer struct {
 	log    *bcastLog
 	nextID int64
 	logf   func(format string, args ...any)
+
+	// poller is the readiness read plane (DESIGN.md §15): on Linux,
+	// WebSocket connections are read by a fixed worker pool driven by
+	// epoll instead of one blocking goroutine each. nil where unsupported
+	// — serve falls back to the blocking loop per connection.
+	poller *netpoll.Poller
 }
 
 // NewNetServer wraps a Core for network serving. logf may be nil to discard
@@ -51,7 +58,13 @@ func NewNetServer(core *Core, logf func(string, ...any)) *NetServer {
 		capacity = defaultLogCapacity
 	}
 	blog := newBcastLog(capacity, logf, core.metrics)
-	return &NetServer{core: core, log: blog, logf: logf}
+	s := &NetServer{core: core, log: blog, logf: logf}
+	if p, err := netpoll.New(pollerCount(), pollStats(core.metrics)); err == nil {
+		s.poller = p
+	} else if err != netpoll.ErrUnsupported {
+		logf("crowdfill: readiness poller unavailable, using blocking reads: %v", err)
+	}
+	return s
 }
 
 // Handler returns the HTTP handler performing WebSocket upgrades. The worker
@@ -111,6 +124,15 @@ func (s *NetServer) serve(conn transport.Conn, worker string) {
 	// mutex never nests with the server's or the log's).
 	s.log.enqueue(fc)
 
+	// Readiness read plane: hand the connection to the poller and return —
+	// this goroutine's work is done, and the connection costs zero
+	// goroutines until traffic arrives. Falls through to the blocking loop
+	// for transports without a descriptor (pipes) and on platforms without
+	// a poller backend.
+	if s.servePoll(conn, clientID, fc) {
+		return
+	}
+
 	for {
 		m, err := conn.Recv()
 		if err != nil {
@@ -120,7 +142,13 @@ func (s *NetServer) serve(conn transport.Conn, worker string) {
 			s.noteReject(clientID, herr)
 		}
 	}
+	s.finishConn(conn, clientID, fc)
+}
 
+// finishConn is the reader-side teardown epilogue shared by the blocking
+// loop and the poller path: remove the core client, detach the cursor, and
+// close the transport.
+func (s *NetServer) finishConn(conn transport.Conn, clientID string, fc *flushConn) {
 	s.mu.Lock()
 	s.core.RemoveClient(clientID)
 	s.mu.Unlock()
@@ -166,11 +194,15 @@ func (s *NetServer) handleAndPublish(clientID string, m sync.Message) error {
 	return nil
 }
 
-// Shutdown closes the broadcast plane: every registered connection's
-// transport is closed (failing its reader loop), the flusher pool and the
-// log's dispatcher exit, and the call returns only once they have. Further
-// publishes are dropped.
-func (s *NetServer) Shutdown() { s.log.close() }
+// Shutdown closes the broadcast plane and the readiness read plane: every
+// registered connection's transport is closed — failing blocking reader
+// loops and firing poller close hooks — the flusher pool, the log's
+// dispatcher, and the poll workers exit, and the call returns only once
+// they all have. Further publishes are dropped.
+func (s *NetServer) Shutdown() {
+	s.log.close()
+	s.poller.Close()
+}
 
 // Done reports whether the collection finished (thread-safe).
 func (s *NetServer) Done() bool {

@@ -8,6 +8,7 @@ import (
 	"errors"
 	"net"
 	gosync "sync"
+	"syscall"
 	"time"
 
 	"crowdfill/internal/sync"
@@ -35,6 +36,13 @@ type Conn interface {
 	// and may leave the link mid-message, so callers must drop the
 	// connection afterwards (the flusher pool's stalled-socket backstop).
 	SetWriteDeadline(t time.Time) error
+	// SetReadDeadline bounds how long subsequent receives may block; the
+	// zero time clears the bound. A receive that hits the deadline returns
+	// a timeout error (IsTimeout reports true). On the WebSocket transport
+	// the stream may be left mid-frame, so callers must drop the connection
+	// afterwards; on the pipe nothing is consumed and the link stays
+	// usable, letting poller timeout tests run against both transports.
+	SetReadDeadline(t time.Time) error
 	// Recv blocks until the next message arrives or the link closes.
 	Recv() (sync.Message, error)
 	// RecvBatch blocks until at least one message arrives, then fills dst
@@ -54,17 +62,47 @@ var ErrPipeClosed = errors.New("transport: pipe closed")
 // ErrWriteTimeout is returned by a pipe send that hit its write deadline.
 var ErrWriteTimeout = errors.New("transport: write deadline exceeded")
 
-// IsTimeout reports whether a send error means the write deadline expired —
-// across both transports (the pipe's ErrWriteTimeout sentinel and the
-// net.Error timeout a deadline'd socket write returns). The flusher pool
-// uses it to label the drop cause: a deadline hit is a stalled socket, a
-// plain send error is a broken one.
+// ErrReadTimeout is returned by a pipe receive that hit its read deadline.
+var ErrReadTimeout = errors.New("transport: read deadline exceeded")
+
+// IsTimeout reports whether an error means a deadline expired — across both
+// transports (the pipe's ErrWriteTimeout/ErrReadTimeout sentinels and the
+// net.Error timeout a deadline'd socket operation returns). The flusher
+// pool uses it to label the drop cause: a deadline hit is a stalled socket,
+// a plain send error is a broken one.
 func IsTimeout(err error) bool {
-	if errors.Is(err, ErrWriteTimeout) {
+	if errors.Is(err, ErrWriteTimeout) || errors.Is(err, ErrReadTimeout) {
 		return true
 	}
 	var ne net.Error
 	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// PollConn is the optional readiness-driven extension of Conn implemented
+// by transports whose receive side can run without a blocking reader
+// goroutine (DESIGN.md §15). The server probes for it with a type
+// assertion; transports without it (the in-process pipe) keep the blocking
+// loop.
+type PollConn interface {
+	Conn
+	// StartPoll switches the receive side into non-blocking mode and
+	// returns the raw descriptor handle for poller registration. onMsg is
+	// the delivery callback PollRecv invokes once per decoded message; it
+	// is stored once here so the per-dispatch path allocates nothing. The
+	// switch is one-way: blocking Recv calls fail afterwards.
+	StartPoll(onMsg func(m sync.Message) error) (syscall.RawConn, error)
+	// PollRecv drains whatever is readable right now without blocking,
+	// delivering decoded messages to the StartPoll callback. more=true
+	// means the read budget ran out with data still pending (re-queue the
+	// connection); a non-nil error is fatal and the caller must tear the
+	// connection down. At most one goroutine may be in PollRecv at a time.
+	PollRecv(scratch []byte) (more bool, err error)
+	// OnClose registers fn to run exactly once when the connection closes
+	// from either side — including a local Close by the write plane, which
+	// silently removes the descriptor from the kernel interest set and
+	// would otherwise strand the poller-side state. If the connection is
+	// already closed, fn runs immediately.
+	OnClose(fn func())
 }
 
 // pipeShared is the closure state both ends of a pipe share: closing either
@@ -82,8 +120,10 @@ type pipeEnd struct {
 	out    chan sync.Message
 	shared *pipeShared
 	// wdeadline bounds Send; owned by the sending goroutine (the Send
-	// concurrency contract covers SetWriteDeadline too).
+	// concurrency contract covers SetWriteDeadline too). rdeadline bounds
+	// Recv symmetrically, owned by the receiving goroutine.
 	wdeadline time.Time
+	rdeadline time.Time
 }
 
 // Pipe returns the two endpoints of an in-process reliable in-order link
@@ -149,7 +189,41 @@ func (p *pipeEnd) SetWriteDeadline(t time.Time) error {
 	return nil
 }
 
+// SetReadDeadline bounds Recv; same concurrency contract as Recv. A
+// timed-out pipe receive consumes nothing, so the link stays usable.
+func (p *pipeEnd) SetReadDeadline(t time.Time) error {
+	p.rdeadline = t
+	return nil
+}
+
 func (p *pipeEnd) Recv() (sync.Message, error) {
+	if !p.rdeadline.IsZero() {
+		// Drain queued messages before the expiry check: data already on
+		// the link beats a deadline, mirroring the closure-drain below.
+		select {
+		case m := <-p.in:
+			return m, nil
+		default:
+		}
+		if !time.Now().Before(p.rdeadline) {
+			return sync.Message{}, ErrReadTimeout
+		}
+		t := time.NewTimer(time.Until(p.rdeadline))
+		defer t.Stop()
+		select {
+		case <-p.shared.done:
+			select {
+			case m := <-p.in:
+				return m, nil
+			default:
+				return sync.Message{}, ErrPipeClosed
+			}
+		case m := <-p.in:
+			return m, nil
+		case <-t.C:
+			return sync.Message{}, ErrReadTimeout
+		}
+	}
 	select {
 	case <-p.shared.done:
 		// Drain anything already queued before reporting closure.
@@ -205,6 +279,11 @@ type wsConn struct {
 	// pendingErr defers a read error hit mid-batch so RecvBatch can deliver
 	// the messages decoded before it; the next receive call returns it.
 	pendingErr error
+	// pollFeed is the wsock-level delivery adapter built once by StartPoll
+	// (decode lease → invoke the registered message callback), so the
+	// readiness dispatch path passes a stored closure instead of
+	// allocating one per call.
+	pollFeed func(data []byte) error
 }
 
 // WrapWS returns a message link over an established WebSocket connection.
@@ -255,6 +334,41 @@ func (w *wsConn) SendPreparedBatch(ps []*sync.Prepared) error {
 
 // SetWriteDeadline bounds how long writes on the underlying socket may block.
 func (w *wsConn) SetWriteDeadline(t time.Time) error { return w.ws.SetWriteDeadline(t) }
+
+// SetReadDeadline bounds how long blocking reads on the underlying socket
+// may block. A deadline hit may leave the stream mid-frame, so the
+// connection must be dropped afterwards (same contract as write deadlines).
+func (w *wsConn) SetReadDeadline(t time.Time) error { return w.ws.SetReadDeadline(t) }
+
+// StartPoll switches the underlying WebSocket into non-blocking read mode
+// and installs the message delivery chain: wsock lease → DecodeMessageInto
+// → onMsg. The decoded Message is stack-scoped per delivery; DecodeMessageInto
+// copies what it keeps out of the lease, so nothing aliases the read buffer
+// past the callback.
+func (w *wsConn) StartPoll(onMsg func(m sync.Message) error) (syscall.RawConn, error) {
+	rc, err := w.ws.StartPoll()
+	if err != nil {
+		return nil, err
+	}
+	w.pollFeed = func(data []byte) error {
+		var m sync.Message
+		if derr := sync.DecodeMessageInto(data, &m); derr != nil {
+			return derr
+		}
+		return onMsg(m)
+	}
+	return rc, nil
+}
+
+// PollRecv drains the socket through the incremental reassembly machine,
+// delivering each completed message to the StartPoll callback.
+func (w *wsConn) PollRecv(scratch []byte) (bool, error) {
+	return w.ws.PollRead(scratch, w.pollFeed)
+}
+
+// OnClose forwards the close hook to the WebSocket layer, which fires it
+// exactly once on either local or remote close.
+func (w *wsConn) OnClose(fn func()) { w.ws.OnClose(fn) }
 
 func (w *wsConn) Recv() (sync.Message, error) {
 	var m sync.Message

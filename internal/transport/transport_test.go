@@ -6,6 +6,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"crowdfill/internal/model"
 	"crowdfill/internal/sync"
@@ -241,4 +242,142 @@ func TestWSSendRecvAllocs(t *testing.T) {
 	}
 	cli.Close()
 	<-done
+}
+
+// TestPipeReadDeadline: the receive side of the Send/Recv deadline symmetry.
+// A timed-out pipe receive consumes nothing; data already queued beats an
+// expired deadline; clearing the deadline restores indefinite blocking.
+func TestPipeReadDeadline(t *testing.T) {
+	a, b := Pipe(4)
+	defer a.Close()
+
+	// Expired deadline with an empty queue: immediate timeout.
+	if err := b.SetReadDeadline(time.Now().Add(-time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Recv(); !errors.Is(err, ErrReadTimeout) {
+		t.Fatalf("Recv past deadline err = %v, want ErrReadTimeout", err)
+	}
+	if !IsTimeout(ErrReadTimeout) {
+		t.Fatal("IsTimeout(ErrReadTimeout) = false")
+	}
+
+	// Queued data beats the expired deadline, and the timeout consumed
+	// nothing beforehand.
+	if err := a.Send(sync.Message{Seq: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if m, err := b.Recv(); err != nil || m.Seq != 7 {
+		t.Fatalf("queued message after timeout = %+v, %v", m, err)
+	}
+
+	// A future deadline blocks until it fires.
+	if err := b.SetReadDeadline(time.Now().Add(30 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := b.Recv(); !errors.Is(err, ErrReadTimeout) {
+		t.Fatalf("blocking Recv err = %v, want ErrReadTimeout", err)
+	}
+	if time.Since(start) < 20*time.Millisecond {
+		t.Fatal("Recv returned before the deadline")
+	}
+
+	// The link survives timeouts: clear the deadline and deliver.
+	if err := b.SetReadDeadline(time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		a.Send(sync.Message{Seq: 8})
+	}()
+	if m, err := b.Recv(); err != nil || m.Seq != 8 {
+		t.Fatalf("Recv after clearing deadline = %+v, %v", m, err)
+	}
+}
+
+// TestWSReadDeadline: the WebSocket adapter forwards read deadlines to the
+// socket, and the resulting error is classified by IsTimeout.
+func TestWSReadDeadline(t *testing.T) {
+	cli, srv := wsPair(t)
+	_ = cli
+	if err := srv.SetReadDeadline(time.Now().Add(30 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	_, err := srv.Recv()
+	if err == nil {
+		t.Fatal("Recv with no traffic returned a message")
+	}
+	if !IsTimeout(err) {
+		t.Fatalf("IsTimeout(%v) = false, want true", err)
+	}
+}
+
+// TestWSPollConn: the adapter-level readiness contract — StartPoll exposes a
+// descriptor, PollRecv delivers decoded messages through the registered
+// callback, blocking Recv is refused afterwards, and a peer close surfaces
+// as an error with the OnClose hook fired.
+func TestWSPollConn(t *testing.T) {
+	cli, srv := wsPair(t)
+	pc, ok := srv.(PollConn)
+	if !ok {
+		t.Fatal("wsConn does not implement PollConn")
+	}
+	var got []sync.Message
+	rc, err := pc.StartPoll(func(m sync.Message) error {
+		got = append(got, m)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("StartPoll: %v", err)
+	}
+	if rc == nil {
+		t.Fatal("StartPoll returned a nil RawConn")
+	}
+	if _, err := srv.Recv(); err == nil {
+		t.Fatal("blocking Recv permitted in poll mode")
+	}
+	fired := make(chan struct{})
+	pc.OnClose(func() { close(fired) })
+
+	for i := 0; i < 3; i++ {
+		if err := cli.Send(sync.Message{Type: sync.MsgUpvote, Seq: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	scratch := make([]byte, 32<<10)
+	deadline := time.Now().Add(10 * time.Second)
+	for len(got) < 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("delivered %d of 3 messages", len(got))
+		}
+		more, err := pc.PollRecv(scratch)
+		if err != nil {
+			t.Fatalf("PollRecv: %v", err)
+		}
+		if !more {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	for i, m := range got {
+		if m.Type != sync.MsgUpvote || m.Seq != int64(i) {
+			t.Fatalf("message %d = %+v", i, m)
+		}
+	}
+
+	cli.Close()
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("peer close never surfaced")
+		}
+		if _, err := pc.PollRecv(scratch); err != nil {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case <-fired:
+	case <-time.After(5 * time.Second):
+		t.Fatal("OnClose hook never fired")
+	}
 }

@@ -1,0 +1,14 @@
+//go:build !unix
+
+package wsock
+
+// makeReadFn on platforms without raw non-blocking reads reports every read
+// as unsupported; StartPoll still succeeds so the state machine is testable,
+// but servers fall back to the blocking read loop before getting here (the
+// netpoll package reports Supported() == false on these platforms).
+func (pr *pollReader) makeReadFn() func(fd uintptr) bool {
+	return func(fd uintptr) bool {
+		pr.rn, pr.rerr = 0, ErrPollUnsupported
+		return true
+	}
+}

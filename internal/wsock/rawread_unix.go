@@ -1,0 +1,34 @@
+//go:build unix
+
+package wsock
+
+import (
+	"io"
+	"syscall"
+)
+
+// makeReadFn builds the RawConn.Read callback for this connection, created
+// once at StartPoll so the per-dispatch read path allocates nothing. The
+// callback always returns true: would-block is reported through rerr as
+// errWouldBlock instead of parking the goroutine in the runtime poller —
+// parking is the kernel poller's job in this read plane.
+func (pr *pollReader) makeReadFn() func(fd uintptr) bool {
+	return func(fd uintptr) bool {
+		for {
+			n, err := syscall.Read(int(fd), pr.rdst)
+			switch {
+			case err == syscall.EINTR:
+				continue
+			case err == syscall.EAGAIN || err == syscall.EWOULDBLOCK:
+				pr.rn, pr.rerr = 0, errWouldBlock
+			case err != nil:
+				pr.rn, pr.rerr = 0, err
+			case n == 0:
+				pr.rn, pr.rerr = 0, io.EOF
+			default:
+				pr.rn, pr.rerr = n, nil
+			}
+			return true
+		}
+	}
+}

@@ -74,6 +74,17 @@ type Conn struct {
 	// read by both the reader goroutine and writers.
 	stats     *Stats
 	statShard uint32
+
+	// poll, when non-nil, holds the incremental reassembly state of a
+	// connection switched into non-blocking read mode (see poll.go). Owned
+	// by whichever single poller worker the connection is dispatched to.
+	poll *pollReader
+
+	// onClose, registered via OnClose and guarded by wmu, runs exactly once
+	// (onCloseOnce) when the connection closes from either side; the read
+	// plane uses it to reap poller state for locally-closed descriptors.
+	onClose     func()
+	onCloseOnce gosync.Once
 }
 
 // AcceptKey computes the Sec-WebSocket-Accept value for a handshake key.
@@ -310,6 +321,9 @@ func (c *Conn) ReadText() ([]byte, error) {
 // DESIGN.md §11 for the ownership protocol; the bufown analyzer enforces
 // it).
 func (c *Conn) ReadTextLease() ([]byte, error) {
+	if c.poll != nil {
+		return nil, errPollMode
+	}
 	c.rbuf = c.rbuf[:0]
 	assembling := false
 	for {
@@ -362,7 +376,7 @@ func (c *Conn) ReadTextLease() ([]byte, error) {
 // are deferred to the next blocking read. The same lease discipline as
 // ReadTextLease applies.
 func (c *Conn) TryReadTextLease() (payload []byte, ok bool, err error) {
-	if c.br == nil {
+	if c.poll != nil || c.br == nil {
 		return nil, false, nil
 	}
 	for {
@@ -465,6 +479,7 @@ func (c *Conn) handleClose() error {
 		_ = c.writeFrame(opClose, c.cbuf)
 	}
 	c.nc.Close()
+	c.fireOnClose()
 	return ErrClosed
 }
 
@@ -572,7 +587,9 @@ func (c *Conn) Close() error {
 	c.closed = true
 	c.wmu.Unlock()
 	_ = c.writeFrame(opClose, nil)
-	return c.nc.Close()
+	err := c.nc.Close()
+	c.fireOnClose()
+	return err
 }
 
 // RemoteAddr returns the peer address.

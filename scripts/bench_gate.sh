@@ -14,6 +14,10 @@
 #   ALLOC_TOL          e2e allocs/op tolerance, default 20
 #   CONNS_P99_TOL      conn-scale publish p99 tolerance, default P99_TOL
 #   CONNS_MEM_TOL      bytes/conn and goroutines/conn tolerance, default 20
+#   CONNS_GORO_ABS     absolute goroutines/conn floor below which the gate
+#                      always passes, default 0.05 — with the readiness
+#                      poller the baseline is ~0, where a relative
+#                      percentage on measurement noise would flake
 #   METRICS_P99_TOL    metrics-on p99 overhead over metrics-off, default 25
 #   METRICS_ALLOC_DELTA  allocs/op the metrics plane may add, default 1
 #
@@ -33,6 +37,7 @@ P99_TOL=${P99_TOL:-20}
 ALLOC_TOL=${ALLOC_TOL:-20}
 CONNS_P99_TOL=${CONNS_P99_TOL:-$P99_TOL}
 CONNS_MEM_TOL=${CONNS_MEM_TOL:-20}
+CONNS_GORO_ABS=${CONNS_GORO_ABS:-0.05}
 METRICS_P99_TOL=${METRICS_P99_TOL:-25}
 METRICS_ALLOC_DELTA=${METRICS_ALLOC_DELTA:-1}
 
@@ -102,7 +107,7 @@ trap 'rm -f "$CBASETMP" ${BASETMP:-}' EXIT
 if ! git show "HEAD:$CNEW" > "$CBASETMP" 2>/dev/null || ! grep -q '"conns"' "$CBASETMP"; then
     echo "bench_gate: no committed $CNEW baseline at HEAD; nothing to gate against"
 else
-awk -v p99tol="$CONNS_P99_TOL" -v memtol="$CONNS_MEM_TOL" '
+awk -v p99tol="$CONNS_P99_TOL" -v memtol="$CONNS_MEM_TOL" -v goroabs="$CONNS_GORO_ABS" '
 function field(line, key,    rest) {
     rest = line
     if (!match(rest, "\"" key "\": *[0-9.eE+-]+")) return ""
@@ -110,14 +115,18 @@ function field(line, key,    rest) {
     sub("\"" key "\": *", "", rest)
     return rest
 }
-function gate(name, c, got, base, tol,    lim) {
+# gate compares got against base with a relative tolerance; floor, when
+# nonzero, is an absolute value the limit never drops below (a near-zero
+# baseline turns a relative percentage into a noise amplifier).
+function gate(name, c, got, base, tol, floor,    lim) {
     if (base == "" || got == "") return
     lim = base * (1 + tol / 100.0)
+    if (floor + 0 > lim) lim = floor + 0
     if (got + 0 > lim) {
-        printf "bench_gate: FAIL conns=%s %s %.2f > baseline %.2f +%d%%\n", c, name, got, base, tol
+        printf "bench_gate: FAIL conns=%s %s %.3f > baseline %.3f +%d%% (limit %.3f)\n", c, name, got, base, tol, lim
         bad = 1
     } else {
-        printf "bench_gate: ok   conns=%s %s %.2f (baseline %.2f, +%d%% limit %.2f)\n", c, name, got, base, tol, lim
+        printf "bench_gate: ok   conns=%s %s %.3f (baseline %.3f, +%d%% limit %.3f)\n", c, name, got, base, tol, lim
     }
 }
 /"conns"/ {
@@ -129,9 +138,9 @@ function gate(name, c, got, base, tol,    lim) {
         next
     }
     if (!(c in basep99)) { printf "bench_gate: conns=%s missing from baseline\n", c; next }
-    gate("p99", c, field($0, "p99_ns"), basep99[c], p99tol)
-    gate("bytes/conn", c, field($0, "bytes_per_conn"), basebytes[c], memtol)
-    gate("goroutines/conn", c, field($0, "goroutines_per_conn"), basegoro[c], memtol)
+    gate("p99", c, field($0, "p99_ns"), basep99[c], p99tol, 0)
+    gate("bytes/conn", c, field($0, "bytes_per_conn"), basebytes[c], memtol, 0)
+    gate("goroutines/conn", c, field($0, "goroutines_per_conn"), basegoro[c], memtol, goroabs)
 }
 END { exit bad }
 ' "$CBASETMP" "$CNEW"
